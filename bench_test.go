@@ -1,0 +1,151 @@
+package twopage_test
+
+import (
+	"io"
+	"testing"
+
+	"twopage/internal/addr"
+	"twopage/internal/allassoc"
+	"twopage/internal/core"
+	"twopage/internal/experiments"
+	"twopage/internal/policy"
+	"twopage/internal/tlb"
+	"twopage/internal/trace"
+	"twopage/internal/workload"
+)
+
+// benchScale keeps each harness iteration around a second; the shapes
+// reported in EXPERIMENTS.md come from `cmd/paper` at scale 1.0.
+const benchScale = 0.02
+
+// benchExperiment regenerates one paper artifact per iteration.
+func benchExperiment(b *testing.B, id string, workloads []string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		err := experiments.Run(id, experiments.Options{
+			Scale:     benchScale,
+			Out:       io.Discard,
+			Workloads: workloads,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper table/figure (all twelve programs each).
+
+func BenchmarkTable31(b *testing.B)  { benchExperiment(b, "table3.1", nil) }
+func BenchmarkFig41(b *testing.B)    { benchExperiment(b, "fig4.1", nil) }
+func BenchmarkFig42(b *testing.B)    { benchExperiment(b, "fig4.2", nil) }
+func BenchmarkFig51(b *testing.B)    { benchExperiment(b, "fig5.1", nil) }
+func BenchmarkFig52(b *testing.B)    { benchExperiment(b, "fig5.2", nil) }
+func BenchmarkTable51(b *testing.B)  { benchExperiment(b, "table5.1", nil) }
+func BenchmarkDeltaMP(b *testing.B)  { benchExperiment(b, "deltamp", nil) }
+func BenchmarkIndexing(b *testing.B) { benchExperiment(b, "indexing", nil) }
+
+func BenchmarkSensitivityT(b *testing.B) {
+	benchExperiment(b, "sensitivity", []string{"li", "matrix300"})
+}
+
+// Extension benches (multiprogramming, miss-handler organizations,
+// memory pressure, TLB size sweep).
+
+func BenchmarkMultiprog(b *testing.B) { benchExperiment(b, "multiprog", nil) }
+func BenchmarkMissHandling(b *testing.B) {
+	benchExperiment(b, "misshandling", []string{"worm", "matrix300"})
+}
+func BenchmarkPressure(b *testing.B) { benchExperiment(b, "pressure", []string{"li", "matrix300"}) }
+func BenchmarkCacheTLB(b *testing.B) { benchExperiment(b, "cachetlb", []string{"li", "matrix300"}) }
+func BenchmarkConflict(b *testing.B) { benchExperiment(b, "conflict", []string{"tomcatv", "worm"}) }
+func BenchmarkTLBSweep(b *testing.B) { benchExperiment(b, "tlbsweep", nil) }
+func BenchmarkPolicies(b *testing.B) { benchExperiment(b, "policies", []string{"li", "worm"}) }
+func BenchmarkDesignSpace(b *testing.B) {
+	benchExperiment(b, "designspace", []string{"li"})
+}
+func BenchmarkPhases(b *testing.B)    { benchExperiment(b, "phases", nil) }
+func BenchmarkSharedMem(b *testing.B) { benchExperiment(b, "sharedmem", nil) }
+func BenchmarkDiskIO(b *testing.B)    { benchExperiment(b, "diskio", []string{"li", "matrix300"}) }
+func BenchmarkProtect(b *testing.B)   { benchExperiment(b, "protect", []string{"li"}) }
+func BenchmarkAccessCost(b *testing.B) {
+	benchExperiment(b, "accesscost", []string{"matrix300", "tomcatv"})
+}
+
+// Ablation benches use the representative four-program subset.
+
+func BenchmarkThresholdSweep(b *testing.B)   { benchExperiment(b, "threshold", nil) }
+func BenchmarkCombos(b *testing.B)           { benchExperiment(b, "combos", nil) }
+func BenchmarkSplitVsUnified(b *testing.B)   { benchExperiment(b, "split", nil) }
+func BenchmarkReplacementSweep(b *testing.B) { benchExperiment(b, "replacement", nil) }
+
+// Micro-benchmarks of the simulation engine itself.
+
+// BenchmarkSimulatorTwoSize measures end-to-end references/second of
+// the full pipeline: generation → dynamic policy → TLB access.
+func BenchmarkSimulatorTwoSize(b *testing.B) {
+	pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(1 << 17))
+	sim := core.NewSimulator(pol, []tlb.TLB{tlb.NewFullyAssoc(16)})
+	res, err := sim.Run(workload.MustNew("matrix300", uint64(b.N)+1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Refs == 0 {
+		b.Fatal("no refs simulated")
+	}
+}
+
+// BenchmarkSimulatorSingle4K is the single-page-size baseline pipeline.
+func BenchmarkSimulatorSingle4K(b *testing.B) {
+	sim := core.NewSimulator(policy.NewSingle(addr.Size4K), []tlb.TLB{tlb.NewFullyAssoc(16)})
+	if _, err := sim.Run(workload.MustNew("matrix300", uint64(b.N)+1)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAllAssocSweep measures the tycho-style sweep covering 24 TLB
+// configurations in one pass.
+func BenchmarkAllAssocSweep(b *testing.B) {
+	sw, err := allassoc.NewSweep([]int{4, 8, 16}, addr.Shift4K, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := workload.MustNew("li", uint64(b.N)+1)
+	buf := make([]trace.Ref, 8192)
+	b.ResetTimer()
+	n := 0
+	for n < b.N {
+		m, rerr := src.Read(buf)
+		for _, r := range buf[:m] {
+			sw.Access(r.Addr)
+		}
+		n += m
+		if rerr != nil {
+			break
+		}
+	}
+}
+
+// BenchmarkTraceCodec measures binary trace encode+decode throughput.
+func BenchmarkTraceCodec(b *testing.B) {
+	src := workload.MustNew("eqntott", uint64(b.N)+1)
+	var pipe nopBuffer
+	w := trace.NewWriter(&pipe)
+	if _, err := trace.Drain(src, func(batch []trace.Ref) {
+		if err := w.Write(batch); err != nil {
+			b.Fatal(err)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(pipe.n) / int64(b.N+1))
+}
+
+type nopBuffer struct{ n uint64 }
+
+func (nb *nopBuffer) Write(p []byte) (int, error) {
+	nb.n += uint64(len(p))
+	return len(p), nil
+}

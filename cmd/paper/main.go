@@ -1,0 +1,113 @@
+// Command paper regenerates the tables and figures of "Tradeoffs in
+// Supporting Two Page Sizes" (Talluri, Kong, Hill, Patterson; ISCA 1992)
+// from the synthetic workload models in this repository.
+//
+// Usage:
+//
+//	paper [-scale f] [-csv] [-workloads a,b,c] [experiment ...]
+//	paper -list
+//
+// With no experiment arguments (or "all"), every experiment runs in
+// order. Scale 1.0 (default) runs the full-length traces; smaller scales
+// shrink traces and windows proportionally for quick looks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"twopage/internal/experiments"
+	"twopage/internal/plot"
+)
+
+// chartSpec maps chartable experiments to the table columns forming
+// categories and value series; Log marks the paper's log-axis figures.
+var chartSpec = map[string]struct {
+	cat, val []int
+	log      bool
+}{
+	"fig4.1":   {[]int{0}, []int{1, 2, 3, 4}, true},
+	"fig4.2":   {[]int{0}, []int{1, 2, 3, 4}, true},
+	"fig5.1":   {[]int{0}, []int{1, 2, 3, 4}, false},
+	"fig5.2":   {[]int{0, 1}, []int{2, 3, 4, 5}, false},
+	"table5.1": {[]int{0, 1}, []int{2, 3, 4, 5}, false},
+	"conflict": {[]int{0}, []int{1, 2, 3, 4}, false},
+	"combos":   {[]int{0}, []int{1, 2, 3}, false},
+	"tlbsweep": {[]int{0, 1}, []int{2, 3, 4, 5, 6}, true},
+}
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "trace-length multiplier (1.0 = full size)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	chart := flag.Bool("chart", false, "render figures as ASCII bar charts where applicable")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	workloads := flag.String("workloads", "", "comma-separated program subset (default: experiment's own)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] [experiment ...|all]\n\nFlags:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nExperiments (run `%s -list` for details):\n", os.Args[0])
+		for _, e := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %s\n", e.ID)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n%13s%s\n", e.ID, e.Title, "", e.About)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		ids = nil
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	opt := experiments.Options{Scale: *scale, CSV: *csv, Out: os.Stdout}
+	if *workloads != "" {
+		opt.Workloads = strings.Split(*workloads, ",")
+	}
+
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		if err := runOne(id, opt, *chart); err != nil {
+			fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s in %.1fs at scale %g]\n", id, time.Since(start).Seconds(), *scale)
+	}
+}
+
+// runOne executes an experiment and renders it as a table, CSV, or —
+// when requested and applicable — an ASCII chart.
+func runOne(id string, opt experiments.Options, chart bool) error {
+	spec, chartable := chartSpec[id]
+	if !chart || !chartable {
+		return experiments.Run(id, opt)
+	}
+	e, err := experiments.Get(id)
+	if err != nil {
+		return err
+	}
+	tbl, err := e.Run(opt)
+	if err != nil {
+		return err
+	}
+	c, err := plot.FromTable(tbl, e.Title, spec.cat, spec.val)
+	if err != nil {
+		return err
+	}
+	c.Log = spec.log
+	_, err = c.WriteTo(os.Stdout)
+	return err
+}

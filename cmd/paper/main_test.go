@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"twopage/internal/experiments"
+	"twopage/internal/plot"
+)
+
+// Every chartSpec entry must reference an existing experiment and
+// columns that exist in its table; the chart must build and carry
+// numeric data. Guards against column drift when experiments evolve.
+func TestChartSpecsMatchTables(t *testing.T) {
+	for id, spec := range chartSpec {
+		e, err := experiments.Get(id)
+		if err != nil {
+			t.Errorf("chartSpec references unknown experiment %q", id)
+			continue
+		}
+		tbl, err := e.Run(experiments.Options{Scale: 0.01, Workloads: []string{"li"}})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		heads := tbl.Headers()
+		for _, c := range append(append([]int{}, spec.cat...), spec.val...) {
+			if c < 0 || c >= len(heads) {
+				t.Errorf("%s: column %d out of range (%d headers)", id, c, len(heads))
+			}
+		}
+		chart, err := plot.FromTable(tbl, e.Title, spec.cat, spec.val)
+		if err != nil {
+			t.Errorf("%s: chart build failed: %v", id, err)
+			continue
+		}
+		// The value columns must actually be numeric in at least one row.
+		numeric := false
+		for r := 0; r < tbl.Rows() && !numeric; r++ {
+			for _, vc := range spec.val {
+				if _, err := strconv.ParseFloat(strings.TrimSpace(tbl.Cell(r, vc)), 64); err == nil {
+					numeric = true
+					break
+				}
+			}
+		}
+		if !numeric {
+			t.Errorf("%s: no numeric values in declared chart columns", id)
+		}
+		var sb strings.Builder
+		if _, err := chart.WriteTo(&sb); err != nil {
+			t.Errorf("%s: chart render failed: %v", id, err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Command tlbsim runs a single TLB simulation over a synthetic workload
+// or a trace file and prints the paper's metrics.
+//
+// Examples:
+//
+//	tlbsim -workload matrix300 -entries 16                 # fully associative
+//	tlbsim -workload tomcatv -entries 32 -ways 2 -index large
+//	tlbsim -workload li -two -T 500000 -entries 16 -ways 2 -index exact
+//	tlbsim -trace foo.trc -format binary -pagesize 8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twopage/internal/addr"
+	"twopage/internal/core"
+	"twopage/internal/policy"
+	"twopage/internal/tlb"
+	"twopage/internal/trace"
+	"twopage/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "", "synthetic workload name (see -listworkloads)")
+		specF    = flag.String("spec", "", "custom workload spec file (see workload.Parse)")
+		refs     = flag.Uint64("refs", 0, "trace length (0 = workload default)")
+		traceF   = flag.String("trace", "", "trace file to simulate instead of a workload")
+		format   = flag.String("format", "binary", "trace file format: binary or text")
+		entries  = flag.Int("entries", 16, "TLB entries")
+		ways     = flag.Int("ways", 0, "associativity (0 = fully associative)")
+		index    = flag.String("index", "exact", "set index scheme: small, large, exact")
+		pageSize = flag.Uint64("pagesize", 4096, "single page size in bytes")
+		two      = flag.Bool("two", false, "use the dynamic 4KB/32KB policy instead of a single size")
+		window   = flag.Int("T", 0, "two-page policy window in refs (0 = refs/8)")
+		thresh   = flag.Int("threshold", 4, "two-page promotion threshold (blocks of 8)")
+		wss      = flag.Bool("wss", false, "also report the two-page working-set size")
+		list     = flag.Bool("listworkloads", false, "list synthetic workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.All() {
+			fmt.Printf("%-10s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+
+	ix, ok := map[string]tlb.IndexScheme{
+		"small": tlb.IndexSmall, "large": tlb.IndexLarge, "exact": tlb.IndexExact,
+	}[*index]
+	if !ok {
+		fatal("unknown index scheme %q", *index)
+	}
+	w := *ways
+	if w == 0 {
+		w = *entries
+	}
+	t, err := tlb.New(tlb.Config{Entries: *entries, Ways: w, Index: ix})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	var src trace.Reader
+	var nRefs uint64
+	switch {
+	case *traceF != "":
+		f, err := os.Open(*traceF)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		if *format == "text" {
+			src = trace.NewTextReader(f)
+		} else {
+			src = trace.NewBinaryReader(f)
+		}
+		nRefs = 1 << 22 // only used to derive a default window
+	case *specF != "":
+		text, err := os.ReadFile(*specF)
+		if err != nil {
+			fatal("%v", err)
+		}
+		nRefs = *refs
+		if nRefs == 0 {
+			nRefs = 4_000_000
+		}
+		src, err = workload.Parse(*specF, nRefs, string(text))
+		if err != nil {
+			fatal("%v", err)
+		}
+	case *wl != "":
+		spec, err := workload.Get(*wl)
+		if err != nil {
+			fatal("%v", err)
+		}
+		nRefs = *refs
+		if nRefs == 0 {
+			nRefs = spec.DefaultRefs
+		}
+		src = spec.New(nRefs)
+	default:
+		fatal("need -workload, -spec, or -trace (try -listworkloads)")
+	}
+
+	var pol policy.Assigner
+	var opts []core.Option
+	if *two {
+		T := *window
+		if T == 0 {
+			T = int(nRefs / 8)
+		}
+		cfg := policy.TwoSizeConfig{T: T, Threshold: *thresh, Demote: true, LargeShift: addr.Shift32K}
+		tp := policy.NewTwoSize(cfg)
+		pol = tp
+		if *wss {
+			opts = append(opts, core.WithWSS())
+		}
+	} else {
+		if *wss {
+			fatal("-wss requires -two (use wsssim for single sizes)")
+		}
+		pol = policy.NewSingle(addr.PageSize(*pageSize))
+	}
+
+	sim := core.NewSimulator(pol, []tlb.TLB{t}, opts...)
+	res, err := sim.Run(src)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	tr := res.TLBs[0]
+	fmt.Printf("policy:      %s\n", res.Policy)
+	fmt.Printf("tlb:         %s\n", tr.Name)
+	fmt.Printf("refs:        %d (instrs %d, RPI %.3f)\n", res.Refs, res.Instrs, res.RPI)
+	fmt.Printf("misses:      %d (small %d, large %d)\n",
+		tr.Stats.Misses(), tr.Stats.SmallMisses, tr.Stats.LargeMisses)
+	fmt.Printf("miss ratio:  %.6f\n", tr.MissRatio)
+	fmt.Printf("MPI:         %.6f\n", tr.MPI)
+	fmt.Printf("CPI_TLB:     %.4f  (penalty %.0f cycles)\n", tr.CPITLB, tr.MissPenalty)
+	fmt.Printf("reprobes:    %d (sequential exact-index cost model)\n", tr.Stats.Reprobes())
+	if res.PolicyStats != nil {
+		ps := res.PolicyStats
+		fmt.Printf("promotions:  %d (demotions %d, large chunks now %d)\n",
+			ps.Promotions, ps.Demotions, ps.LargeChunks)
+		fmt.Printf("large refs:  %.1f%%\n", 100*float64(ps.LargeRefs)/float64(ps.Refs))
+	}
+	if res.WSS != nil {
+		fmt.Printf("avg WSS:     %.0f bytes (%s scheme)\n", res.WSS.AvgBytes, res.WSS.Scheme)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tlbsim: "+format+"\n", args...)
+	os.Exit(1)
+}

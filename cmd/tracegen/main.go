@@ -1,0 +1,111 @@
+// Command tracegen writes a synthetic workload's reference stream to a
+// trace file in the repository's binary or text format, so external
+// tools (or tlbsim/wsssim -trace) can replay identical traces.
+//
+// Example:
+//
+//	tracegen -workload matrix300 -refs 1000000 -o m300.trc
+//	tracegen -workload li -format text -o li.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twopage/internal/trace"
+	"twopage/internal/workload"
+)
+
+func main() {
+	var (
+		wl     = flag.String("workload", "", "synthetic workload name")
+		specF  = flag.String("spec", "", "custom workload spec file (see workload.Parse)")
+		refs   = flag.Uint64("refs", 0, "trace length (0 = workload default)")
+		out    = flag.String("o", "", "output file (default <workload>.trc)")
+		format = flag.String("format", "binary", "binary or text")
+	)
+	flag.Parse()
+
+	var src trace.Reader
+	var n uint64
+	name := ""
+	switch {
+	case *specF != "":
+		text, err := os.ReadFile(*specF)
+		if err != nil {
+			fatal("%v", err)
+		}
+		n = *refs
+		if n == 0 {
+			n = 4_000_000
+		}
+		src, err = workload.Parse(*specF, n, string(text))
+		if err != nil {
+			fatal("%v", err)
+		}
+		name = "custom"
+	case *wl != "":
+		spec, err := workload.Get(*wl)
+		if err != nil {
+			fatal("%v", err)
+		}
+		n = *refs
+		if n == 0 {
+			n = spec.DefaultRefs
+		}
+		src = spec.New(n)
+		name = spec.Name
+	default:
+		fatal("need -workload or -spec (workloads: %v)", workload.Names())
+	}
+	path := *out
+	if path == "" {
+		path = name + ".trc"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	var written uint64
+	var writeErr error
+	switch *format {
+	case "binary":
+		w := trace.NewWriter(f)
+		written, err = trace.Drain(src, func(batch []trace.Ref) {
+			if werr := w.Write(batch); werr != nil && writeErr == nil {
+				writeErr = werr
+			}
+		})
+		if writeErr == nil {
+			writeErr = w.Flush()
+		}
+	case "text":
+		w := trace.NewTextWriter(f)
+		written, err = trace.Drain(src, func(batch []trace.Ref) {
+			if werr := w.Write(batch); werr != nil && writeErr == nil {
+				writeErr = werr
+			}
+		})
+		if writeErr == nil {
+			writeErr = w.Flush()
+		}
+	default:
+		fatal("unknown format %q", *format)
+	}
+	if err == nil {
+		err = writeErr
+	}
+	if err != nil {
+		fatal("writing %s: %v", path, err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("wrote %d references to %s (%d bytes, %.2f bytes/ref)\n",
+		written, path, st.Size(), float64(st.Size())/float64(written))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Command wsssim computes average working-set sizes (the paper's
+// Section 4 metric) over a synthetic workload or trace file, for any set
+// of single page sizes and optionally the dynamic 4KB/32KB scheme.
+//
+// Examples:
+//
+//	wsssim -workload li                         # 4K..64K + two-page
+//	wsssim -workload tomcatv -T 2000000 -sizes 4096,32768
+//	wsssim -trace foo.trc -format text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"twopage/internal/addr"
+	"twopage/internal/core"
+	"twopage/internal/metrics"
+	"twopage/internal/policy"
+	"twopage/internal/trace"
+	"twopage/internal/workload"
+	"twopage/internal/wss"
+)
+
+func main() {
+	var (
+		wl     = flag.String("workload", "", "synthetic workload name")
+		refs   = flag.Uint64("refs", 0, "trace length (0 = workload default)")
+		traceF = flag.String("trace", "", "trace file instead of a workload")
+		format = flag.String("format", "binary", "trace file format: binary or text")
+		window = flag.Uint64("T", 0, "working-set window in references (0 = refs/8)")
+		sizes  = flag.String("sizes", "4096,8192,16384,32768,65536", "comma-separated page sizes in bytes")
+		two    = flag.Bool("two", true, "also compute the dynamic 4KB/32KB scheme")
+	)
+	flag.Parse()
+
+	var pageSizes []addr.PageSize
+	for _, f := range strings.Split(*sizes, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+		if err != nil || !addr.PageSize(v).Valid() {
+			fatal("bad page size %q", f)
+		}
+		pageSizes = append(pageSizes, addr.PageSize(v))
+	}
+
+	open := func() trace.Reader {
+		switch {
+		case *traceF != "":
+			f, err := os.Open(*traceF)
+			if err != nil {
+				fatal("%v", err)
+			}
+			if *format == "text" {
+				return trace.NewTextReader(f)
+			}
+			return trace.NewBinaryReader(f)
+		case *wl != "":
+			spec, err := workload.Get(*wl)
+			if err != nil {
+				fatal("%v", err)
+			}
+			n := *refs
+			if n == 0 {
+				n = spec.DefaultRefs
+			}
+			return spec.New(n)
+		default:
+			fatal("need -workload or -trace")
+			return nil
+		}
+	}
+
+	n := *refs
+	if n == 0 && *wl != "" {
+		if spec, err := workload.Get(*wl); err == nil {
+			n = spec.DefaultRefs
+		}
+	}
+	T := *window
+	if T == 0 {
+		if n == 0 {
+			T = 1 << 20
+		} else {
+			T = n / 8
+		}
+	}
+	if *traceF != "" && *two {
+		// Two-page WSS needs a second pass; reopening files twice is
+		// fine, but keep it explicit and simple: disable for files.
+		fmt.Fprintln(os.Stderr, "wsssim: -two disabled for trace files (single pass only)")
+		*two = false
+	}
+
+	results, err := core.MeasureStaticWSS(open(), T, pageSizes...)
+	if err != nil {
+		fatal("%v", err)
+	}
+	base := results[0]
+	fmt.Printf("T = %d references\n", T)
+	fmt.Printf("%-10s %-12s %s\n", "scheme", "avg WSS", "normalized (vs first)")
+	for _, r := range results {
+		fmt.Printf("%-10s %-12s %.3f\n", r.Scheme, wss.FormatBytes(r.AvgBytes),
+			metrics.WSNormalized(r.AvgBytes, base.AvgBytes))
+	}
+	if *two {
+		res, stats, err := core.MeasureTwoSizeWSS(open(), policy.DefaultTwoSizeConfig(int(T)))
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("%-10s %-12s %.3f   (promotions %d, demotions %d)\n",
+			res.Scheme, wss.FormatBytes(res.AvgBytes),
+			metrics.WSNormalized(res.AvgBytes, base.AvgBytes),
+			stats.Promotions, stats.Demotions)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wsssim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+package twopage_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles one command into dir and returns the binary path.
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runBin(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+// End-to-end CLI coverage: every binary builds and performs a small,
+// real scenario through its flag surface.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+
+	t.Run("paper", func(t *testing.T) {
+		bin := buildCmd(t, dir, "paper")
+		out := runBin(t, bin, "-list")
+		for _, want := range []string{"table3.1", "fig5.1", "tlbsweep"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("-list missing %q", want)
+			}
+		}
+		out = runBin(t, bin, "-scale", "0.01", "-workloads", "li", "table3.1")
+		if !strings.Contains(out, "li") || !strings.Contains(out, "RPI") {
+			t.Errorf("table3.1 output malformed:\n%s", out)
+		}
+		out = runBin(t, bin, "-scale", "0.01", "-workloads", "li", "-csv", "fig4.2")
+		if !strings.HasPrefix(out, "Program,") {
+			t.Errorf("csv output malformed:\n%s", out)
+		}
+		out = runBin(t, bin, "-scale", "0.01", "-workloads", "li", "-chart", "fig5.1")
+		if !strings.Contains(out, "#") || !strings.Contains(out, "scale, max") {
+			t.Errorf("chart output malformed:\n%s", out)
+		}
+	})
+
+	t.Run("tracegen-tlbsim-wsssim-traceinfo", func(t *testing.T) {
+		gen := buildCmd(t, dir, "tracegen")
+		sim := buildCmd(t, dir, "tlbsim")
+		wss := buildCmd(t, dir, "wsssim")
+		info := buildCmd(t, dir, "traceinfo")
+
+		trc := filepath.Join(dir, "li.trc")
+		out := runBin(t, gen, "-workload", "li", "-refs", "50000", "-o", trc)
+		if !strings.Contains(out, "wrote 50000 references") {
+			t.Errorf("tracegen output: %s", out)
+		}
+		if _, err := os.Stat(trc); err != nil {
+			t.Fatal(err)
+		}
+		out = runBin(t, sim, "-trace", trc, "-entries", "16", "-T", "6000")
+		if !strings.Contains(out, "CPI_TLB") || !strings.Contains(out, "refs:        50000") {
+			t.Errorf("tlbsim output:\n%s", out)
+		}
+		out = runBin(t, sim, "-workload", "li", "-refs", "50000", "-two", "-wss")
+		if !strings.Contains(out, "promotions:") || !strings.Contains(out, "avg WSS") {
+			t.Errorf("tlbsim -two output:\n%s", out)
+		}
+		out = runBin(t, wss, "-workload", "li", "-refs", "50000")
+		if !strings.Contains(out, "4KB/32KB") || !strings.Contains(out, "normalized") {
+			t.Errorf("wsssim output:\n%s", out)
+		}
+		out = runBin(t, info, "-trace", trc)
+		if !strings.Contains(out, "chunk density") {
+			t.Errorf("traceinfo output:\n%s", out)
+		}
+
+		// Custom spec pipeline.
+		spec := filepath.Join(dir, "w.spec")
+		if err := os.WriteFile(spec, []byte("uniform base=1M size=64K weight=1\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out = runBin(t, sim, "-spec", spec, "-refs", "30000")
+		if !strings.Contains(out, "refs:        30000") {
+			t.Errorf("tlbsim -spec output:\n%s", out)
+		}
+	})
+
+	t.Run("vmsim", func(t *testing.T) {
+		bin := buildCmd(t, dir, "vmsim")
+		out := runBin(t, bin, "-workload", "matrix300", "-refs", "100000", "-mem", "1M", "-two")
+		for _, want := range []string{"TLB:", "walks:", "promotion:", "cycles/access"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("vmsim output missing %q:\n%s", want, out)
+			}
+		}
+	})
+}

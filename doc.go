@@ -1,0 +1,21 @@
+// Package twopage is a from-scratch Go reproduction of "Tradeoffs in
+// Supporting Two Page Sizes" (Madhusudhan Talluri, Shing Kong, Mark D.
+// Hill, David A. Patterson; 19th International Symposium on Computer
+// Architecture, 1992).
+//
+// The paper asks whether TLBs should support a single larger page size
+// or two page sizes (4KB + 32KB), and answers with trace-driven
+// simulation: working-set costs (Section 4) and TLB CPI contributions
+// (Section 5) across a dozen SPARC traces, plus the design space of
+// set-associative TLB indexing for two page sizes (Section 2) and a
+// dynamic page-size assignment policy (Section 3.4).
+//
+// This module rebuilds the whole apparatus: TLB models for every
+// organization the paper discusses, the promotion policy, exact
+// working-set simulators, an all-associativity (tycho-style) simulator,
+// OS substrates (two-size page table, buddy allocator), synthetic
+// workload models standing in for the original traces, and a harness
+// that regenerates every table and figure. See README.md for a tour,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for measured
+// results against the paper's.
+package twopage

@@ -1,0 +1,83 @@
+// Customworkload: model a new program without writing Go, using the
+// workload spec language, then put it through the paper's full
+// analysis pipeline: characterize it (chunk density predicts what the
+// promotion policy will do), then measure CPI_TLB under 4KB, 32KB and
+// the dynamic two-page policy.
+//
+// The spec below sketches a database-like program the paper never
+// traced: a large B-tree (pointer chasing over dense node clusters), a
+// sequential log writer, and a small hot catalog.
+//
+// Run with:
+//
+//	go run ./examples/customworkload
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"twopage/internal/addr"
+	"twopage/internal/core"
+	"twopage/internal/policy"
+	"twopage/internal/tableio"
+	"twopage/internal/tlb"
+	"twopage/internal/tracestat"
+	"twopage/internal/workload"
+)
+
+const dbSpec = `
+# a small database engine, circa 1992
+code funcs=12 body=1024 visit=3072 spacing=4K base=0x1000000
+dpi 0.36
+# B-tree: 64 dense 24KB node clusters, pointer-chased
+chase   base=512M span=24M clusters=64 csize=24K nodes=2048 span2=32 burst=6 weight=0.45
+# write-ahead log: pure sequential appends
+seq     base=16M size=512K stride=64 weight=0.25 store=0.9
+# catalog: small hot region
+uniform base=32M size=32K align=16 weight=0.30 store=0.1
+`
+
+const refs = 2_000_000
+
+func main() {
+	// 1. Characterize: what will the promotion policy see?
+	rep, err := tracestat.Analyze(workload.MustParse("db", refs, dbSpec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== workload characterization ==")
+	if _, err := rep.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// 2. Evaluate the page-size schemes on it.
+	run := func(pol policy.Assigner) *core.Result {
+		sim := core.NewSimulator(pol, []tlb.TLB{tlb.NewFullyAssoc(16)})
+		res, err := sim.Run(workload.MustParse("db", refs, dbSpec))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	tbl := tableio.New("== db workload: CPI_TLB, 16-entry fully associative ==",
+		"scheme", "CPI_TLB", "MPI", "penalty")
+	for _, pol := range []policy.Assigner{
+		policy.NewSingle(addr.Size4K),
+		policy.NewSingle(addr.Size32K),
+		policy.NewTwoSize(policy.DefaultTwoSizeConfig(refs / 8)),
+	} {
+		res := run(pol)
+		tr := res.TLBs[0]
+		tbl.Row(res.Policy, tableio.F(tr.CPITLB, 3),
+			fmt.Sprintf("%.5f", tr.MPI), fmt.Sprintf("%.0f cyc", tr.MissPenalty))
+	}
+	if _, err := tbl.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nThe dense B-tree clusters promote (density ~6 of 8 blocks), the log")
+	fmt.Println("promotes trivially, and the catalog stays small — so the two-page")
+	fmt.Println("scheme should approach the 32KB result at a fraction of its memory cost.")
+}

@@ -1,0 +1,3 @@
+module twopage
+
+go 1.22

@@ -1,0 +1,144 @@
+// Package addr provides virtual-address arithmetic for the two-page-size
+// simulators: page numbers, offsets, blocks, chunks and TLB index
+// extraction for arbitrary power-of-two page sizes.
+//
+// Terminology follows the paper (Talluri et al., ISCA 1992, Section 3.4):
+//
+//   - a *block* is the small page unit (4KB);
+//   - a *chunk* is the large page unit (32KB), i.e. eight aligned blocks;
+//   - a chunk is either mapped as one large page or as eight small pages.
+//
+// All pages are power-of-two sized and naturally aligned, so physical
+// addresses can be formed by concatenation (Section 1 of the paper) and
+// page numbers are simple shifts.
+package addr
+
+import "fmt"
+
+// VA is a virtual address. The simulators use a flat 64-bit user address
+// space; the traced SPARC programs of the paper used 32-bit addresses,
+// which embed trivially.
+type VA uint64
+
+// Canonical shifts for the page sizes studied in the paper.
+const (
+	// Shift4K is log2(4KB), the small (base) page size of the paper.
+	Shift4K = 12
+	// Shift8K is log2(8KB).
+	Shift8K = 13
+	// Shift16K is log2(16KB).
+	Shift16K = 14
+	// Shift32K is log2(32KB), the large page size of the paper.
+	Shift32K = 15
+	// Shift64K is log2(64KB), the largest single page size in Figure 4.1.
+	Shift64K = 16
+)
+
+// Block/chunk structure of the paper's page-size assignment policy
+// (Section 3.4): the address space is treated as 32KB chunks of eight
+// 4KB blocks.
+const (
+	BlockShift     = Shift4K
+	ChunkShift     = Shift32K
+	BlockSize      = 1 << BlockShift
+	ChunkSize      = 1 << ChunkShift
+	BlocksPerChunk = 1 << (ChunkShift - BlockShift) // 8
+)
+
+// PageSize is a page size in bytes. It is always a power of two.
+type PageSize uint64
+
+// Common page sizes.
+const (
+	Size4K  PageSize = 1 << Shift4K
+	Size8K  PageSize = 1 << Shift8K
+	Size16K PageSize = 1 << Shift16K
+	Size32K PageSize = 1 << Shift32K
+	Size64K PageSize = 1 << Shift64K
+)
+
+// Shift returns log2 of the page size.
+func (s PageSize) Shift() uint {
+	n := uint(0)
+	for v := uint64(s); v > 1; v >>= 1 {
+		n++
+	}
+	return n
+}
+
+// Valid reports whether s is a nonzero power of two.
+func (s PageSize) Valid() bool {
+	return s != 0 && s&(s-1) == 0
+}
+
+// String formats a page size as "4KB", "32KB", "1MB", etc.
+func (s PageSize) String() string {
+	switch {
+	case s >= 1<<30 && s%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", s>>30)
+	case s >= 1<<20 && s%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", s>>20)
+	case s >= 1<<10 && s%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", s>>10)
+	default:
+		return fmt.Sprintf("%dB", uint64(s))
+	}
+}
+
+// PN is a page number: a virtual address shifted right by the page shift.
+// A PN is only meaningful together with the shift that produced it.
+type PN uint64
+
+// Page returns the page number of va for a page of the given shift.
+func Page(va VA, shift uint) PN { return PN(va >> shift) }
+
+// Offset returns the offset of va within its page of the given shift.
+func Offset(va VA, shift uint) uint64 { return uint64(va) & (1<<shift - 1) }
+
+// Base returns the first address of the page containing va.
+func Base(va VA, shift uint) VA { return va &^ (1<<shift - 1) }
+
+// Aligned reports whether va is aligned to a page of the given shift,
+// i.e. whether it could be the base of such a page. The paper requires
+// all pages to be aligned (Section 1).
+func Aligned(va VA, shift uint) bool { return Offset(va, shift) == 0 }
+
+// Block returns the 4KB block number of va.
+func Block(va VA) PN { return Page(va, BlockShift) }
+
+// Chunk returns the 32KB chunk number of va.
+func Chunk(va VA) PN { return Page(va, ChunkShift) }
+
+// ChunkOfBlock returns the chunk containing the given block.
+func ChunkOfBlock(b PN) PN { return b >> (ChunkShift - BlockShift) }
+
+// FirstBlock returns the first (lowest) block of chunk c.
+func FirstBlock(c PN) PN { return c << (ChunkShift - BlockShift) }
+
+// BlockInChunk returns the index (0..BlocksPerChunk-1) of va's block
+// within its chunk.
+func BlockInChunk(va VA) uint {
+	return uint(uint64(va)>>BlockShift) & (BlocksPerChunk - 1)
+}
+
+// BlockIndex returns the index of block b within its chunk.
+func BlockIndex(b PN) uint { return uint(b) & (BlocksPerChunk - 1) }
+
+// Index extracts a TLB set index from va: setBits bits starting just
+// above the page offset, i.e. the least significant bits of the page
+// number. This is the conventional single-page-size TLB index; the paper's
+// Section 2.2 discusses which shift to use when two sizes coexist.
+func Index(va VA, pageShift, setBits uint) uint64 {
+	return (uint64(va) >> pageShift) & (1<<setBits - 1)
+}
+
+// SpanPages returns how many pages of the given shift the byte range
+// [start, start+length) touches. A zero length touches zero pages.
+func SpanPages(start VA, length uint64, shift uint) uint64 {
+	if length == 0 {
+		return 0
+	}
+	first := uint64(start) >> shift
+	last := (uint64(start) + length - 1) >> shift
+	return last - first + 1
+}

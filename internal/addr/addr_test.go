@@ -1,0 +1,180 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageSizeShift(t *testing.T) {
+	cases := []struct {
+		size  PageSize
+		shift uint
+	}{
+		{Size4K, 12}, {Size8K, 13}, {Size16K, 14}, {Size32K, 15}, {Size64K, 16},
+		{PageSize(1 << 20), 20},
+	}
+	for _, c := range cases {
+		if got := c.size.Shift(); got != c.shift {
+			t.Errorf("%v.Shift() = %d, want %d", c.size, got, c.shift)
+		}
+	}
+}
+
+func TestPageSizeValid(t *testing.T) {
+	for _, s := range []PageSize{Size4K, Size8K, Size16K, Size32K, Size64K, 1, 2} {
+		if !s.Valid() {
+			t.Errorf("%d should be valid", s)
+		}
+	}
+	for _, s := range []PageSize{0, 3, 4097, 12288} {
+		if s.Valid() {
+			t.Errorf("%d should be invalid", s)
+		}
+	}
+}
+
+func TestPageSizeString(t *testing.T) {
+	cases := map[PageSize]string{
+		Size4K:            "4KB",
+		Size32K:           "32KB",
+		PageSize(1 << 20): "1MB",
+		PageSize(1 << 30): "1GB",
+		PageSize(512):     "512B",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", uint64(s), got, want)
+		}
+	}
+}
+
+func TestPageOffsetBase(t *testing.T) {
+	va := VA(0x12345678)
+	if got := Page(va, Shift4K); got != PN(0x12345) {
+		t.Errorf("Page = %#x, want 0x12345", got)
+	}
+	if got := Offset(va, Shift4K); got != 0x678 {
+		t.Errorf("Offset = %#x, want 0x678", got)
+	}
+	if got := Base(va, Shift4K); got != VA(0x12345000) {
+		t.Errorf("Base = %#x, want 0x12345000", got)
+	}
+	if !Aligned(0x8000, Shift32K) {
+		t.Error("0x8000 should be 32KB-aligned")
+	}
+	if Aligned(0x9000, Shift32K) {
+		t.Error("0x9000 should not be 32KB-aligned")
+	}
+}
+
+func TestBlockChunkRelations(t *testing.T) {
+	va := VA(0x2F123) // block 0x2F, chunk 0x5
+	if Block(va) != 0x2F {
+		t.Errorf("Block = %#x", Block(va))
+	}
+	if Chunk(va) != 0x5 {
+		t.Errorf("Chunk = %#x", Chunk(va))
+	}
+	if ChunkOfBlock(0x2F) != 0x5 {
+		t.Errorf("ChunkOfBlock = %#x", ChunkOfBlock(0x2F))
+	}
+	if FirstBlock(0x5) != 0x28 {
+		t.Errorf("FirstBlock = %#x", FirstBlock(0x5))
+	}
+	if BlockInChunk(va) != 7 {
+		t.Errorf("BlockInChunk = %d, want 7", BlockInChunk(va))
+	}
+	if BlockIndex(0x2F) != 7 {
+		t.Errorf("BlockIndex = %d, want 7", BlockIndex(0x2F))
+	}
+}
+
+// Property: a chunk contains exactly BlocksPerChunk consecutive blocks and
+// every block maps back to that chunk.
+func TestChunkBlockRoundTrip(t *testing.T) {
+	f := func(c uint32) bool {
+		chunk := PN(c)
+		first := FirstBlock(chunk)
+		for i := PN(0); i < BlocksPerChunk; i++ {
+			if ChunkOfBlock(first+i) != chunk {
+				return false
+			}
+			if BlockIndex(first+i) != uint(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Base/Offset decompose va exactly, for all studied shifts.
+func TestBaseOffsetDecomposition(t *testing.T) {
+	f := func(v uint64, pick uint8) bool {
+		shifts := []uint{Shift4K, Shift8K, Shift16K, Shift32K, Shift64K}
+		sh := shifts[int(pick)%len(shifts)]
+		va := VA(v)
+		return uint64(Base(va, sh))+Offset(va, sh) == uint64(va) &&
+			Aligned(Base(va, sh), sh)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: page numbers are monotone in the address and consistent
+// across shifts (the 32KB page number is the 4KB page number >> 3).
+func TestPageShiftConsistency(t *testing.T) {
+	f := func(v uint64) bool {
+		va := VA(v)
+		return Page(va, Shift32K) == Page(va, Shift4K)>>3 &&
+			Page(va, Shift64K) == Page(va, Shift4K)>>4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndex(t *testing.T) {
+	// 16-bit example from the paper's Figure 2.1: small page index uses
+	// bit<12>, large page index uses bit<15>.
+	va := VA(0x1000) // bit 12 set, bit 15 clear
+	if got := Index(va, Shift4K, 1); got != 1 {
+		t.Errorf("small index = %d, want 1", got)
+	}
+	if got := Index(va, Shift32K, 1); got != 0 {
+		t.Errorf("large index = %d, want 0", got)
+	}
+	va = VA(0x8000) // bit 15 set, bit 12 clear
+	if got := Index(va, Shift32K, 1); got != 1 {
+		t.Errorf("large index of 0x8000 = %d, want 1", got)
+	}
+	if got := Index(va, Shift4K, 1); got != 0 {
+		t.Errorf("small index of 0x8000 = %d, want 0", got)
+	}
+}
+
+func TestSpanPages(t *testing.T) {
+	cases := []struct {
+		start  VA
+		length uint64
+		shift  uint
+		want   uint64
+	}{
+		{0, 0, Shift4K, 0},
+		{0, 1, Shift4K, 1},
+		{0, 4096, Shift4K, 1},
+		{0, 4097, Shift4K, 2},
+		{4095, 2, Shift4K, 2},
+		{0x7FFF, 2, Shift32K, 2},
+		{0, 1 << 20, Shift32K, 32},
+	}
+	for _, c := range cases {
+		if got := SpanPages(c.start, c.length, c.shift); got != c.want {
+			t.Errorf("SpanPages(%#x,%d,%d) = %d, want %d",
+				c.start, c.length, c.shift, got, c.want)
+		}
+	}
+}

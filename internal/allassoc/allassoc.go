@@ -1,0 +1,187 @@
+// Package allassoc implements all-associativity simulation in the style
+// of tycho (Hill & Smith, "Evaluating Associativity in CPU Caches",
+// IEEE ToC 1989), which the paper modified to simulate its 84 TLB
+// configurations in one pass (Section 3.3).
+//
+// For a fixed number of sets and a fixed indexing function, one pass
+// over the reference stream maintains a true-LRU stack per set and
+// records each access's *stack distance* (its depth in the set's stack).
+// An access at distance d hits in any TLB of that set count with
+// associativity > d, so the distance histogram yields miss counts for
+// every associativity at once. A Sweep runs several set counts side by
+// side, covering the whole (sets × ways) design space in a single pass
+// over the trace.
+//
+// The simulation is exact for single-page-size TLBs with LRU
+// replacement, which is how the paper used it; the two-page-size
+// configurations with promotion events are simulated directly by
+// internal/core instead (stack inclusion does not survive cross-size
+// invalidations).
+package allassoc
+
+import (
+	"fmt"
+
+	"twopage/internal/addr"
+)
+
+// Sim performs all-associativity simulation for one set count.
+type Sim struct {
+	sets     int
+	setBits  uint
+	shift    uint
+	maxWays  int
+	stacks   [][]addr.PN // per set, MRU first, capped at maxWays entries
+	hist     []uint64    // hist[d]: accesses found at stack distance d < maxWays
+	cold     uint64      // accesses that miss at every associativity of interest
+	accesses uint64
+}
+
+// New returns a Sim for a TLB with the given set count (a power of two),
+// page shift (index and tag derive from va >> shift), and the maximum
+// associativity of interest. Per-set stacks are truncated at maxWays
+// entries: an access at distance >= maxWays misses in every evaluated
+// configuration regardless of its exact depth, so truncation changes no
+// reported miss count while bounding per-access work at O(maxWays).
+func New(sets int, pageShift uint, maxWays int) (*Sim, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("allassoc: set count %d not a positive power of two", sets)
+	}
+	if maxWays <= 0 {
+		return nil, fmt.Errorf("allassoc: maxWays must be positive, got %d", maxWays)
+	}
+	setBits := uint(0)
+	for v := sets; v > 1; v >>= 1 {
+		setBits++
+	}
+	return &Sim{
+		sets:    sets,
+		setBits: setBits,
+		shift:   pageShift,
+		maxWays: maxWays,
+		stacks:  make([][]addr.PN, sets),
+		hist:    make([]uint64, maxWays),
+	}, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(sets int, pageShift uint, maxWays int) *Sim {
+	s, err := New(sets, pageShift, maxWays)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Access observes one reference.
+func (s *Sim) Access(va addr.VA) {
+	s.accesses++
+	pn := addr.Page(va, s.shift)
+	idx := addr.Index(va, s.shift, s.setBits)
+	stack := s.stacks[idx]
+	for d, p := range stack {
+		if p == pn {
+			// Move to MRU position.
+			copy(stack[1:d+1], stack[:d])
+			stack[0] = pn
+			s.hist[d]++
+			return
+		}
+	}
+	// Miss at every associativity of interest (never seen, or truncated
+	// off the capped stack — identical outcome for ways <= maxWays).
+	s.cold++
+	if len(stack) < s.maxWays {
+		stack = append(stack, 0)
+	}
+	copy(stack[1:], stack[:len(stack)-1])
+	stack[0] = pn
+	s.stacks[idx] = stack
+}
+
+// Misses returns the miss count a TLB with the given associativity
+// (1..maxWays) would have incurred: every access at stack distance
+// >= ways, including cold and truncated-depth accesses.
+func (s *Sim) Misses(ways int) uint64 {
+	if ways < 1 || ways > s.maxWays {
+		panic(fmt.Sprintf("allassoc: ways %d out of range [1,%d]", ways, s.maxWays))
+	}
+	m := s.cold
+	for d := ways; d < s.maxWays; d++ {
+		m += s.hist[d]
+	}
+	return m
+}
+
+// Accesses returns the number of references observed.
+func (s *Sim) Accesses() uint64 { return s.accesses }
+
+// Sets returns the configured set count.
+func (s *Sim) Sets() int { return s.sets }
+
+// MaxWays returns the configured maximum associativity.
+func (s *Sim) MaxWays() int { return s.maxWays }
+
+// Sweep simulates several set counts in one pass, covering a whole
+// (sets × ways) design space.
+type Sweep struct {
+	sims []*Sim
+}
+
+// NewSweep returns a Sweep over the given set counts, sharing pageShift
+// and maxWays.
+func NewSweep(setCounts []int, pageShift uint, maxWays int) (*Sweep, error) {
+	if len(setCounts) == 0 {
+		return nil, fmt.Errorf("allassoc: no set counts")
+	}
+	sw := &Sweep{}
+	for _, n := range setCounts {
+		s, err := New(n, pageShift, maxWays)
+		if err != nil {
+			return nil, err
+		}
+		sw.sims = append(sw.sims, s)
+	}
+	return sw, nil
+}
+
+// Access observes one reference in every simulated set count.
+func (sw *Sweep) Access(va addr.VA) {
+	for _, s := range sw.sims {
+		s.Access(va)
+	}
+}
+
+// Misses returns the misses for the configuration (sets, ways).
+func (sw *Sweep) Misses(sets, ways int) (uint64, error) {
+	for _, s := range sw.sims {
+		if s.sets == sets {
+			return s.Misses(ways), nil
+		}
+	}
+	return 0, fmt.Errorf("allassoc: set count %d not simulated", sets)
+}
+
+// Configs enumerates every (sets, ways, entries, misses) tuple covered.
+type Config struct {
+	Sets    int
+	Ways    int
+	Entries int
+	Misses  uint64
+}
+
+// Results lists all simulated configurations.
+func (sw *Sweep) Results() []Config {
+	var out []Config
+	for _, s := range sw.sims {
+		for w := 1; w <= s.maxWays; w++ {
+			out = append(out, Config{
+				Sets:    s.sets,
+				Ways:    w,
+				Entries: s.sets * w,
+				Misses:  s.Misses(w),
+			})
+		}
+	}
+	return out
+}

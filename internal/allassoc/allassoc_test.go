@@ -1,0 +1,189 @@
+package allassoc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twopage/internal/addr"
+	"twopage/internal/policy"
+	"twopage/internal/tlb"
+)
+
+func randAddrs(n int, seed int64, pages int) []addr.VA {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]addr.VA, n)
+	for i := range out {
+		// Mix hot and cold pages with sub-page offsets.
+		var p int
+		if rng.Intn(2) == 0 {
+			p = rng.Intn(pages / 8)
+		} else {
+			p = rng.Intn(pages)
+		}
+		out[i] = addr.VA(p<<addr.Shift4K + rng.Intn(addr.BlockSize))
+	}
+	return out
+}
+
+func TestValidation(t *testing.T) {
+	for _, c := range []struct{ sets, ways int }{{0, 4}, {-1, 4}, {3, 4}, {4, 0}} {
+		if _, err := New(c.sets, addr.Shift4K, c.ways); err == nil {
+			t.Errorf("New(%d,_,%d) should fail", c.sets, c.ways)
+		}
+	}
+	if _, err := NewSweep(nil, addr.Shift4K, 2); err == nil {
+		t.Error("empty sweep should fail")
+	}
+	if _, err := NewSweep([]int{4, 5}, addr.Shift4K, 2); err == nil {
+		t.Error("bad set count in sweep should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic")
+		}
+	}()
+	MustNew(3, addr.Shift4K, 2)
+}
+
+func TestMissesRangeChecks(t *testing.T) {
+	s := MustNew(4, addr.Shift4K, 4)
+	for _, w := range []int{0, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Misses(%d) should panic", w)
+				}
+			}()
+			s.Misses(w)
+		}()
+	}
+}
+
+// The central correctness claim: the one-pass stack simulation matches
+// direct simulation of each (sets, ways) LRU TLB exactly.
+func TestMatchesDirectSimulation(t *testing.T) {
+	addrs := randAddrs(30_000, 11, 256)
+	const maxWays = 8
+	sw, err := NewSweep([]int{1, 2, 4, 8}, addr.Shift4K, maxWays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, va := range addrs {
+		sw.Access(va)
+	}
+	for _, sets := range []int{1, 2, 4, 8} {
+		for ways := 1; ways <= maxWays; ways++ {
+			direct := tlb.MustNew(tlb.Config{
+				Entries: sets * ways, Ways: ways, Index: tlb.IndexSmall, Repl: tlb.LRU,
+			})
+			pol := policy.NewSingle(addr.Size4K)
+			for _, va := range addrs {
+				direct.Access(va, pol.Assign(va).Page)
+			}
+			want := direct.Stats().Misses()
+			got, err := sw.Misses(sets, ways)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("sets=%d ways=%d: allassoc=%d direct=%d", sets, ways, got, want)
+			}
+		}
+	}
+	if _, err := sw.Misses(16, 1); err == nil {
+		t.Fatal("unsimulated set count should error")
+	}
+}
+
+// Works for large pages too (index/tag at the 32KB shift).
+func TestMatchesDirectSimulationLargePages(t *testing.T) {
+	addrs := randAddrs(20_000, 13, 2048)
+	s := MustNew(8, addr.Shift32K, 4)
+	for _, va := range addrs {
+		s.Access(va)
+	}
+	for ways := 1; ways <= 4; ways++ {
+		direct := tlb.MustNew(tlb.Config{
+			Entries: 8 * ways, Ways: ways, Index: tlb.IndexLarge, Repl: tlb.LRU,
+		})
+		pol := policy.NewSingle(addr.Size32K)
+		for _, va := range addrs {
+			direct.Access(va, pol.Assign(va).Page)
+		}
+		if got, want := s.Misses(ways), direct.Stats().Misses(); got != want {
+			t.Fatalf("ways=%d: allassoc=%d direct=%d", ways, got, want)
+		}
+	}
+}
+
+// Property: misses are monotonically non-increasing in associativity
+// (LRU inclusion), and every count is bounded by the access count.
+func TestMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		addrs := randAddrs(5000, seed, 128)
+		s := MustNew(4, addr.Shift4K, 8)
+		for _, va := range addrs {
+			s.Access(va)
+		}
+		prev := s.Misses(1)
+		if prev > s.Accesses() {
+			return false
+		}
+		for w := 2; w <= 8; w++ {
+			m := s.Misses(w)
+			if m > prev {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultsEnumeration(t *testing.T) {
+	sw, err := NewSweep([]int{2, 4}, addr.Shift4K, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Access(0x1000)
+	rs := sw.Results()
+	if len(rs) != 4 {
+		t.Fatalf("got %d configs, want 4", len(rs))
+	}
+	seen := map[[2]int]bool{}
+	for _, r := range rs {
+		if r.Entries != r.Sets*r.Ways {
+			t.Fatalf("entries mismatch: %+v", r)
+		}
+		seen[[2]int{r.Sets, r.Ways}] = true
+	}
+	for _, want := range [][2]int{{2, 1}, {2, 2}, {4, 1}, {4, 2}} {
+		if !seen[want] {
+			t.Fatalf("missing config %v", want)
+		}
+	}
+}
+
+func TestAccessorMethods(t *testing.T) {
+	s := MustNew(4, addr.Shift4K, 3)
+	if s.Sets() != 4 || s.MaxWays() != 3 {
+		t.Fatalf("accessors: %d %d", s.Sets(), s.MaxWays())
+	}
+	s.Access(0)
+	if s.Accesses() != 1 {
+		t.Fatal("accesses not counted")
+	}
+}
+
+func BenchmarkSweepAccess(b *testing.B) {
+	sw, _ := NewSweep([]int{4, 8, 16}, addr.Shift4K, 8)
+	addrs := randAddrs(1<<14, 1, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.Access(addrs[i&(len(addrs)-1)])
+	}
+}

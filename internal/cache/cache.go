@@ -1,0 +1,156 @@
+// Package cache implements a small level-one CPU cache model. The
+// paper's Section 1 argues that TLB size is constrained by the L1
+// cache's tagging: with *physical* tags the TLB sits on the access path
+// of every reference, so it must stay small and fast; with *virtual*
+// tags the TLB is consulted only on L1 misses, so it can be large. This
+// package provides the cache filter needed to quantify that argument
+// (the cachetlb experiment): a virtually indexed, set-associative,
+// LRU-replaced cache whose hit/miss stream gates TLB accesses.
+package cache
+
+import (
+	"fmt"
+
+	"twopage/internal/addr"
+)
+
+// Config describes a cache.
+type Config struct {
+	// Size is the capacity in bytes.
+	Size int
+	// Block is the line size in bytes (power of two). Default 32.
+	Block int
+	// Ways is the set associativity; 0 defaults to 1 (direct mapped).
+	Ways int
+}
+
+func (c *Config) normalize() error {
+	if c.Block == 0 {
+		c.Block = 32
+	}
+	if c.Ways == 0 {
+		c.Ways = 1
+	}
+	if c.Block <= 0 || c.Block&(c.Block-1) != 0 {
+		return fmt.Errorf("cache: block size %d not a power of two", c.Block)
+	}
+	if c.Size <= 0 || c.Size%(c.Block*c.Ways) != 0 {
+		return fmt.Errorf("cache: size %d not divisible into %d-byte %d-way sets", c.Size, c.Block, c.Ways)
+	}
+	sets := c.Size / (c.Block * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+type line struct {
+	tag     uint64
+	valid   bool
+	lastUse uint64
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// Hits returns total hits.
+func (s Stats) Hits() uint64 { return s.Accesses - s.Misses }
+
+// MissRatio returns misses/accesses (0 if untouched).
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a virtually indexed set-associative cache with per-set LRU.
+type Cache struct {
+	cfg        Config
+	blockShift uint
+	setBits    uint
+	sets       int
+	lines      []line
+	clock      uint64
+	stats      Stats
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	sets := cfg.Size / (cfg.Block * cfg.Ways)
+	blockShift, setBits := uint(0), uint(0)
+	for v := cfg.Block; v > 1; v >>= 1 {
+		blockShift++
+	}
+	for v := sets; v > 1; v >>= 1 {
+		setBits++
+	}
+	return &Cache{
+		cfg:        cfg,
+		blockShift: blockShift,
+		setBits:    setBits,
+		sets:       sets,
+		lines:      make([]line, sets*cfg.Ways),
+	}, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access looks the address up, filling on a miss. Returns true on hit.
+func (c *Cache) Access(va addr.VA) bool {
+	c.clock++
+	c.stats.Accesses++
+	blockNum := uint64(va) >> c.blockShift
+	idx := int(blockNum & (uint64(c.sets) - 1))
+	tag := blockNum >> c.setBits
+	set := c.lines[idx*c.cfg.Ways : (idx+1)*c.cfg.Ways]
+	victim := 0
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			l.lastUse = c.clock
+			return true
+		}
+		if !set[victim].valid {
+			continue
+		}
+		if !l.valid || l.lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	c.stats.Misses++
+	set[victim] = line{tag: tag, valid: true, lastUse: c.clock}
+	return false
+}
+
+// Flush empties the cache.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Sets returns the set count.
+func (c *Cache) Sets() int { return c.sets }
+
+// Name describes the organization.
+func (c *Cache) Name() string {
+	return fmt.Sprintf("%dKB %d-way %dB-block cache",
+		c.cfg.Size>>10, c.cfg.Ways, c.cfg.Block)
+}

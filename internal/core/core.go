@@ -1,0 +1,221 @@
+// Package core wires the pieces together: it drives a reference stream
+// through a page-size assignment policy and one or more TLB models,
+// optionally tracking the working-set size of the dynamic two-page
+// scheme, and reports the paper's metrics (CPI_TLB, MPI, miss ratio).
+//
+// This is the package the examples and the experiment harness build on.
+// Typical use:
+//
+//	pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(1_000_000))
+//	sim := core.NewSimulator(pol, tlb.NewFullyAssoc(16))
+//	res, err := sim.Run(workload.MustNew("matrix300", 0))
+//	fmt.Println(res.TLBs[0].CPITLB)
+//
+// Simulating several TLB configurations against the same policy shares
+// one trace-generation and policy pass, mirroring the paper's use of
+// all-associativity simulation to evaluate many configurations at once
+// (Section 3.3); for sweeps over associativity itself see
+// internal/allassoc.
+package core
+
+import (
+	"fmt"
+
+	"twopage/internal/addr"
+	"twopage/internal/metrics"
+	"twopage/internal/policy"
+	"twopage/internal/tlb"
+	"twopage/internal/trace"
+	"twopage/internal/wss"
+)
+
+// TLBResult holds one simulated TLB's counters and derived metrics.
+type TLBResult struct {
+	Name        string    // TLB organization, e.g. "16-entry 2-way (exact index)"
+	Stats       tlb.Stats // raw counters
+	MissPenalty float64   // cycles per miss used for CPI
+	MPI         float64   // misses per instruction
+	CPITLB      float64   // MPI × MissPenalty (the paper's headline metric)
+	MissRatio   float64   // misses per reference
+}
+
+// Result is the outcome of one simulation pass.
+type Result struct {
+	Policy string // policy name, e.g. "4KB" or "4KB/32KB"
+	Refs   uint64 // references simulated
+	Instrs uint64 // instruction fetches (for per-instruction metrics)
+	RPI    float64
+	TLBs   []TLBResult
+
+	// WSS is the average working-set size of the two-page scheme, set
+	// only when the simulator was built with WithWSS.
+	WSS *wss.Result
+	// PolicyStats holds promotion/demotion counters for TwoSize policies.
+	PolicyStats *policy.TwoSizeStats
+}
+
+// Simulator drives references through a policy and a set of TLBs.
+type Simulator struct {
+	pol         policy.Assigner
+	tlbs        []tlb.TLB
+	missPenalty float64
+	wssCalc     *wss.TwoSize
+	largeShift  uint // large-page shift of a TwoSize policy
+}
+
+// Option configures a Simulator.
+type Option func(*Simulator)
+
+// WithMissPenalty overrides the miss penalty (cycles). By default a
+// TwoSize policy uses metrics.MissPenaltyTwo and everything else
+// metrics.MissPenaltySingle, per Sections 2.3/3.2.
+func WithMissPenalty(cycles float64) Option {
+	return func(s *Simulator) { s.missPenalty = cycles }
+}
+
+// WithWSS attaches a two-page working-set calculator. Only valid when
+// the policy is a *policy.TwoSize; NewSimulator panics otherwise.
+// For static page sizes use MeasureStaticWSS, which needs no TLB pass.
+func WithWSS() Option {
+	return func(s *Simulator) {
+		pol, ok := s.pol.(*policy.TwoSize)
+		if !ok {
+			panic("core: WithWSS requires a TwoSize policy")
+		}
+		s.wssCalc = wss.NewTwoSize(pol)
+	}
+}
+
+// NewSimulator builds a simulator for the policy and TLBs. The TLBs are
+// all driven by the same policy decisions in a single pass.
+func NewSimulator(pol policy.Assigner, tlbs []tlb.TLB, opts ...Option) *Simulator {
+	s := &Simulator{pol: pol, tlbs: tlbs}
+	if ts, ok := pol.(*policy.TwoSize); ok {
+		s.missPenalty = metrics.MissPenaltyTwo
+		s.largeShift = ts.Config().LargeShift
+	} else {
+		s.missPenalty = metrics.MissPenaltySingle
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Run consumes the reference stream to completion and returns metrics.
+// A Simulator is single-use: Run may only be called once.
+func (s *Simulator) Run(r trace.Reader) (*Result, error) {
+	var refs, instrs uint64
+	_, err := trace.Drain(r, func(batch []trace.Ref) {
+		for _, ref := range batch {
+			refs++
+			if ref.Kind == trace.Instr {
+				instrs++
+			}
+			res := s.pol.Assign(ref.Addr)
+			if res.Event != policy.EventNone {
+				s.applyEvent(res)
+			}
+			for _, t := range s.tlbs {
+				t.Access(ref.Addr, res.Page)
+			}
+			if s.wssCalc != nil {
+				s.wssCalc.Observe(res)
+			}
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: simulation failed: %w", err)
+	}
+	out := &Result{
+		Policy: s.pol.Name(),
+		Refs:   refs,
+		Instrs: instrs,
+	}
+	if instrs > 0 {
+		out.RPI = float64(refs) / float64(instrs)
+	}
+	for _, t := range s.tlbs {
+		st := t.Stats()
+		mpi := metrics.MPI(st.Misses(), instrs)
+		out.TLBs = append(out.TLBs, TLBResult{
+			Name:        t.Name(),
+			Stats:       st,
+			MissPenalty: s.missPenalty,
+			MPI:         mpi,
+			CPITLB:      mpi * s.missPenalty,
+			MissRatio:   st.MissRatio(),
+		})
+	}
+	if s.wssCalc != nil {
+		res := s.wssCalc.Result()
+		out.WSS = &res
+	}
+	if pol, ok := s.pol.(*policy.TwoSize); ok {
+		st := pol.Stats()
+		out.PolicyStats = &st
+	}
+	return out, nil
+}
+
+// applyEvent performs the TLB maintenance a real OS would: promotion
+// invalidates the chunk's eight small-page entries, demotion the large
+// page entry. The cycle cost of this is folded into the two-page miss
+// penalty, as in the paper (Section 3.4).
+func (s *Simulator) applyEvent(res policy.Result) {
+	per := addr.PN(1) << (s.largeShift - addr.BlockShift)
+	switch res.Event {
+	case policy.EventPromote:
+		first := res.Chunk * per
+		for i := addr.PN(0); i < per; i++ {
+			p := policy.Page{Number: first + i, Shift: addr.BlockShift}
+			for _, t := range s.tlbs {
+				t.Invalidate(p)
+			}
+		}
+	case policy.EventDemote:
+		p := policy.Page{Number: res.Chunk, Shift: s.largeShift}
+		for _, t := range s.tlbs {
+			t.Invalidate(p)
+		}
+	}
+}
+
+// MeasureStaticWSS computes average working-set sizes for a set of
+// static page sizes over a reference stream in one pass, no TLBs
+// involved (the Section 4 experiments).
+func MeasureStaticWSS(r trace.Reader, T uint64, sizes ...addr.PageSize) ([]wss.Result, error) {
+	shifts := make([]uint, len(sizes))
+	for i, s := range sizes {
+		if !s.Valid() {
+			return nil, fmt.Errorf("core: invalid page size %d", s)
+		}
+		shifts[i] = s.Shift()
+	}
+	calc := wss.NewStatic(T, shifts...)
+	_, err := trace.Drain(r, func(batch []trace.Ref) {
+		for _, ref := range batch {
+			calc.Step(ref.Addr)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: WSS pass failed: %w", err)
+	}
+	return calc.Finish(), nil
+}
+
+// MeasureTwoSizeWSS computes the average working-set size of the dynamic
+// 4KB/32KB scheme over a reference stream, without simulating TLBs.
+func MeasureTwoSizeWSS(r trace.Reader, cfg policy.TwoSizeConfig) (wss.Result, policy.TwoSizeStats, error) {
+	pol := policy.NewTwoSize(cfg)
+	calc := wss.NewTwoSize(pol)
+	_, err := trace.Drain(r, func(batch []trace.Ref) {
+		for _, ref := range batch {
+			calc.Observe(pol.Assign(ref.Addr))
+		}
+	})
+	if err != nil {
+		return wss.Result{}, policy.TwoSizeStats{}, fmt.Errorf("core: WSS pass failed: %w", err)
+	}
+	return calc.Result(), pol.Stats(), nil
+}

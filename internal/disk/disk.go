@@ -1,0 +1,83 @@
+// Package disk models paging I/O for an early-1990s disk, quantifying
+// the paper's Section 1 claim that with larger pages "disk paging is
+// more efficient (since the delay of disk head movement is amortized
+// over more data transferred)". A page-in pays seek + rotational
+// latency once, then transfers the whole page at the media rate, so a
+// 32KB page costs far less than eight 4KB page-ins.
+package disk
+
+import (
+	"fmt"
+
+	"twopage/internal/addr"
+)
+
+// Model is a simple positional disk/channel model.
+type Model struct {
+	// SeekMs is the average seek time in milliseconds.
+	SeekMs float64
+	// RotateMs is the average rotational latency (half a revolution).
+	RotateMs float64
+	// MBPerSec is the sustained media transfer rate.
+	MBPerSec float64
+	// CPUMHz converts I/O time to CPU cycles (the simulators account in
+	// cycles).
+	CPUMHz float64
+}
+
+// Default returns parameters typical of a 1992 workstation disk behind
+// a 40MHz processor: ~16ms average seek, 5400rpm (5.6ms average
+// rotational latency), 2MB/s media rate.
+func Default() Model {
+	return Model{SeekMs: 16, RotateMs: 5.6, MBPerSec: 2, CPUMHz: 40}
+}
+
+// Validate reports whether the model's parameters are usable.
+func (m Model) Validate() error {
+	if m.SeekMs < 0 || m.RotateMs < 0 || m.MBPerSec <= 0 || m.CPUMHz <= 0 {
+		return fmt.Errorf("disk: invalid model %+v", m)
+	}
+	return nil
+}
+
+// AccessMs returns the milliseconds to read n contiguous bytes:
+// positioning once, then streaming.
+func (m Model) AccessMs(n uint64) float64 {
+	transfer := float64(n) / (m.MBPerSec * 1e6) * 1e3
+	return m.SeekMs + m.RotateMs + transfer
+}
+
+// AccessCycles converts AccessMs to CPU cycles.
+func (m Model) AccessCycles(n uint64) float64 {
+	return m.AccessMs(n) * m.CPUMHz * 1e3
+}
+
+// PageInCycles returns the cycles to demand-load one page.
+func (m Model) PageInCycles(size addr.PageSize) float64 {
+	return m.AccessCycles(uint64(size))
+}
+
+// AmortizationFactor returns how much cheaper one large-page transfer is
+// than loading the same bytes as small pages:
+// (8 × 4KB page-ins) / (1 × 32KB page-in).
+func (m Model) AmortizationFactor() float64 {
+	small := 8 * m.AccessMs(uint64(addr.Size4K))
+	large := m.AccessMs(uint64(addr.Size32K))
+	return small / large
+}
+
+// Stats accumulates paging I/O.
+type Stats struct {
+	PageIns  uint64
+	BytesIn  uint64
+	IOCycles float64
+}
+
+// Account records one page-in against the stats.
+func (s *Stats) Account(m Model, size addr.PageSize) float64 {
+	c := m.PageInCycles(size)
+	s.PageIns++
+	s.BytesIn += uint64(size)
+	s.IOCycles += c
+	return c
+}

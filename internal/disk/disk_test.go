@@ -1,0 +1,78 @@
+package disk
+
+import (
+	"math"
+	"testing"
+
+	"twopage/internal/addr"
+)
+
+func TestDefaultModel(t *testing.T) {
+	m := Default()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 4KB at 2MB/s = 2ms transfer + 21.6ms positioning.
+	ms := m.AccessMs(uint64(addr.Size4K))
+	if math.Abs(ms-23.648) > 0.01 {
+		t.Fatalf("4KB access = %vms", ms)
+	}
+	// Cycles at 40MHz.
+	cyc := m.AccessCycles(uint64(addr.Size4K))
+	if math.Abs(cyc-ms*40_000) > 1 {
+		t.Fatalf("cycles = %v", cyc)
+	}
+	if m.PageInCycles(addr.Size4K) != cyc {
+		t.Fatal("PageInCycles should equal AccessCycles of the size")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Model{
+		{SeekMs: -1, RotateMs: 1, MBPerSec: 1, CPUMHz: 1},
+		{SeekMs: 1, RotateMs: 1, MBPerSec: 0, CPUMHz: 1},
+		{SeekMs: 1, RotateMs: 1, MBPerSec: 1, CPUMHz: 0},
+	}
+	for _, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("model %+v should be invalid", m)
+		}
+	}
+}
+
+// The paper's amortization claim: positioning dominates small transfers,
+// so one 32KB page-in is far cheaper than eight 4KB page-ins.
+func TestAmortization(t *testing.T) {
+	m := Default()
+	f := m.AmortizationFactor()
+	if f < 4 || f > 8 {
+		t.Fatalf("amortization factor = %v, expected ~5 for 1992 parameters", f)
+	}
+	// A hypothetical zero-latency device has no amortization benefit.
+	flat := Model{SeekMs: 0, RotateMs: 0, MBPerSec: 2, CPUMHz: 40}
+	if got := flat.AmortizationFactor(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("zero-latency factor = %v, want 1", got)
+	}
+}
+
+func TestStatsAccount(t *testing.T) {
+	m := Default()
+	var s Stats
+	c1 := s.Account(m, addr.Size4K)
+	c2 := s.Account(m, addr.Size32K)
+	if s.PageIns != 2 {
+		t.Fatalf("page-ins = %d", s.PageIns)
+	}
+	if s.BytesIn != uint64(addr.Size4K)+uint64(addr.Size32K) {
+		t.Fatalf("bytes = %d", s.BytesIn)
+	}
+	if math.Abs(s.IOCycles-(c1+c2)) > 1e-9 {
+		t.Fatalf("cycles = %v", s.IOCycles)
+	}
+	if c2 <= c1 {
+		t.Fatal("larger transfer must cost more in absolute terms")
+	}
+	if c2 >= 8*c1 {
+		t.Fatal("but much less than proportionally (amortization)")
+	}
+}

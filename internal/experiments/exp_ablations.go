@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"twopage/internal/addr"
+	"twopage/internal/core"
+	"twopage/internal/policy"
+	"twopage/internal/tableio"
+	"twopage/internal/tlb"
+	"twopage/internal/workload"
+)
+
+// ablationDefault is the representative subset used by the ablations
+// when no explicit workload list is given: one program per behaviour
+// class (sparse heap, promotion-resistant, dense matrix, large-index
+// pathological).
+var ablationDefault = []string{"li", "worm", "matrix300", "tomcatv"}
+
+func (o Options) ablationSpecs() ([]workload.Spec, error) {
+	if len(o.Workloads) == 0 {
+		o.Workloads = ablationDefault
+	}
+	return o.specs()
+}
+
+// ThresholdSweep varies the promotion threshold over 1..8 blocks,
+// reporting CPI_TLB (16-entry FA), the working-set cost, and how much
+// traffic moves to large pages. Threshold 4 is the paper's policy;
+// threshold 1 promotes on first touch (≈ a 32KB single size with lazy
+// growth), threshold 8 promotes only fully-populated chunks.
+func ThresholdSweep(o Options) (*tableio.Table, error) {
+	o = o.normalized()
+	specs, err := o.ablationSpecs()
+	if err != nil {
+		return nil, err
+	}
+	tbl := tableio.New("Ablation: promotion threshold (16-entry fully associative)",
+		"Program", "Thr", "CPI_TLB", "WS_norm", "large-ref%", "promos")
+	for _, s := range specs {
+		refs := refsFor(s, o.Scale)
+		T := windowFor(refs)
+		// 4KB base working set for normalization, one static pass.
+		base, _, err := wsNormSingle(s.New(refs), uint64(T), []uint{addr.Shift32K})
+		if err != nil {
+			return nil, err
+		}
+		for thr := 1; thr <= addr.BlocksPerChunk; thr++ {
+			cfg := policy.TwoSizeConfig{T: T, Threshold: thr, Demote: true, LargeShift: addr.ChunkShift}
+			pol := policy.NewTwoSize(cfg)
+			sim := core.NewSimulator(pol, []tlb.TLB{tlb.NewFullyAssoc(16)}, core.WithWSS())
+			res, err := sim.Run(s.New(refs))
+			if err != nil {
+				return nil, err
+			}
+			largePct := 100 * float64(res.PolicyStats.LargeRefs) / float64(res.PolicyStats.Refs)
+			tbl.Row(s.Name, tableio.F(float64(thr), 0),
+				tableio.F(res.TLBs[0].CPITLB, 3),
+				tableio.F(res.WSS.AvgBytes/base, 2),
+				tableio.F(largePct, 0),
+				tableio.F(float64(res.PolicyStats.Promotions), 0))
+		}
+	}
+	tbl.Note("Threshold 4 is the paper's policy: the half-or-more rule bounds WS_norm at 2.0.")
+	return tbl, nil
+}
+
+// Combos compares the 4KB/16KB, 4KB/32KB and 4KB/64KB combinations the
+// paper measured but had no space to print (Section 3.2).
+func Combos(o Options) (*tableio.Table, error) {
+	o = o.normalized()
+	specs, err := o.ablationSpecs()
+	if err != nil {
+		return nil, err
+	}
+	tbl := tableio.New("Ablation: large-page size in the two-page scheme (16-entry FA)",
+		"Program", "CPI 4/16K", "CPI 4/32K", "CPI 4/64K", "WSn 4/16K", "WSn 4/32K", "WSn 4/64K")
+	shifts := []uint{addr.Shift16K, addr.Shift32K, addr.Shift64K}
+	for _, s := range specs {
+		refs := refsFor(s, o.Scale)
+		T := windowFor(refs)
+		base, _, err := wsNormSingle(s.New(refs), uint64(T), []uint{addr.Shift32K})
+		if err != nil {
+			return nil, err
+		}
+		var cpis, wsns []float64
+		for _, ls := range shifts {
+			bpc := 1 << (ls - addr.BlockShift)
+			cfg := policy.TwoSizeConfig{T: T, Threshold: bpc / 2, Demote: true, LargeShift: ls}
+			pol := policy.NewTwoSize(cfg)
+			sim := core.NewSimulator(pol, []tlb.TLB{tlb.NewFullyAssoc(16)}, core.WithWSS())
+			res, err := sim.Run(s.New(refs))
+			if err != nil {
+				return nil, err
+			}
+			cpis = append(cpis, res.TLBs[0].CPITLB)
+			wsns = append(wsns, res.WSS.AvgBytes/base)
+		}
+		tbl.Row(s.Name,
+			tableio.F(cpis[0], 3), tableio.F(cpis[1], 3), tableio.F(cpis[2], 3),
+			tableio.F(wsns[0], 2), tableio.F(wsns[1], 2), tableio.F(wsns[2], 2))
+	}
+	tbl.Note("Bigger large pages map more memory per entry but cost more working set; 32KB is the paper's sweet spot.")
+	return tbl, nil
+}
+
+// SplitVsUnified compares Section 2.2's option (c) — split per-size
+// TLBs — against a unified exact-index TLB and a fully associative TLB
+// of the same total capacity, all under the two-page policy.
+func SplitVsUnified(o Options) (*tableio.Table, error) {
+	o = o.normalized()
+	specs, err := o.ablationSpecs()
+	if err != nil {
+		return nil, err
+	}
+	tbl := tableio.New("Ablation: split vs unified two-page TLBs (16 entries total, CPI_TLB)",
+		"Program", "unified 2-way exact", "split 12+4", "split 8+8", "fully assoc")
+	for _, s := range specs {
+		refs := refsFor(s, o.Scale)
+		T := windowFor(refs)
+		mk := func() []tlb.TLB {
+			// PA-RISC style: fully associative halves (the paper cites
+			// HP's 4-entry Block TLB for large pages).
+			split124, err := tlb.NewSplit(
+				tlb.Config{Entries: 12, Ways: 12}, tlb.Config{Entries: 4, Ways: 4})
+			if err != nil {
+				panic(err)
+			}
+			split88, err := tlb.NewSplit(
+				tlb.Config{Entries: 8, Ways: 2}, tlb.Config{Entries: 8, Ways: 4})
+			if err != nil {
+				panic(err)
+			}
+			return []tlb.TLB{
+				twoWay(16, tlb.IndexExact),
+				split124,
+				split88,
+				tlb.NewFullyAssoc(16),
+			}
+		}
+		pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))
+		sim := core.NewSimulator(pol, mk())
+		res, err := sim.Run(s.New(refs))
+		if err != nil {
+			return nil, err
+		}
+		tbl.Row(s.Name,
+			tableio.F(res.TLBs[0].CPITLB, 3),
+			tableio.F(res.TLBs[1].CPITLB, 3),
+			tableio.F(res.TLBs[2].CPITLB, 3),
+			tableio.F(res.TLBs[3].CPITLB, 3))
+	}
+	tbl.Note("Split TLBs waste capacity when the page-size mix is skewed (paper Section 2.2, option (c)).")
+	return tbl, nil
+}
+
+// ReplacementSweep varies the replacement policy on a 16-entry
+// fully-associative and a 16-entry 2-way TLB with 4KB pages. The paper
+// assumes LRU throughout.
+func ReplacementSweep(o Options) (*tableio.Table, error) {
+	o = o.normalized()
+	specs, err := o.ablationSpecs()
+	if err != nil {
+		return nil, err
+	}
+	tbl := tableio.New("Ablation: replacement policy, 4KB pages (CPI_TLB)",
+		"Program", "FA LRU", "FA FIFO", "FA random", "2-way LRU", "2-way FIFO", "2-way random")
+	for _, s := range specs {
+		refs := refsFor(s, o.Scale)
+		var tlbs []tlb.TLB
+		for _, repl := range []tlb.Replacement{tlb.LRU, tlb.FIFO, tlb.Random} {
+			tlbs = append(tlbs, tlb.MustNew(tlb.Config{Entries: 16, Ways: 16, Repl: repl, Seed: 42}))
+		}
+		for _, repl := range []tlb.Replacement{tlb.LRU, tlb.FIFO, tlb.Random} {
+			tlbs = append(tlbs, tlb.MustNew(tlb.Config{Entries: 16, Ways: 2, Repl: repl, Seed: 42}))
+		}
+		res, err := runPass(s, refs, policy.NewSingle(addr.Size4K), tlbs...)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{s.Name}
+		for _, tr := range res.TLBs {
+			row = append(row, tableio.F(tr.CPITLB, 3))
+		}
+		tbl.Row(row...)
+	}
+	return tbl, nil
+}

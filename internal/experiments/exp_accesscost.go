@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"twopage/internal/metrics"
+	"twopage/internal/policy"
+	"twopage/internal/tableio"
+	"twopage/internal/tlb"
+	"twopage/internal/tlbx"
+)
+
+// AccessCost prices the three exact-index access strategies of
+// Section 2.2 — option (a) parallel/dual-ported probe, option (b)
+// sequential reprobe, option (c) split TLBs — plus a two-level TLB
+// hierarchy, as average translation cycles per reference:
+//
+//	cycles/ref = hit-path cycles + miss-ratio × 25-cycle handler
+//
+// Parallel and sequential exact indexing share contents (identical
+// misses); they differ in the hit path: the sequential variant probes
+// with the small page number first and reprobes on large-page hits
+// and misses (Stats.Reprobes), exactly the cost the paper says makes
+// option (b) questionable ("It is not clear this gives any performance
+// advantage for using the larger page size"). The two-level hierarchy
+// charges its L2 refills an intermediate cost.
+func AccessCost(o Options) (*tableio.Table, error) {
+	o = o.normalized()
+	specs, err := o.ablationSpecs()
+	if err != nil {
+		return nil, err
+	}
+	const (
+		probeCycles   = 1.0 // one TLB probe
+		l2ProbeCycles = 3.0 // bigger, slower second-level TLB
+	)
+	tbl := tableio.New("Extension: translation cycles per reference, exact-index access strategies (16 entries)",
+		"Program", "parallel", "sequential", "split 8+8", "L1(16)+L2(64)", "reprobe%")
+	for _, s := range specs {
+		refs := refsFor(s, o.Scale)
+		T := windowFor(refs)
+		unified := twoWay(16, tlb.IndexExact)
+		split, err := tlb.NewSplit(tlb.Config{Entries: 8, Ways: 2}, tlb.Config{Entries: 8, Ways: 4})
+		if err != nil {
+			return nil, err
+		}
+		twoLvl, err := tlbx.NewTwoLevel(
+			tlb.Config{Entries: 16, Ways: 2, Index: tlb.IndexExact},
+			tlb.Config{Entries: 64, Ways: 4, Index: tlb.IndexExact})
+		if err != nil {
+			return nil, err
+		}
+		pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))
+		if _, err := runPass(s, refs, pol, unified, split, twoLvl); err != nil {
+			return nil, err
+		}
+		perRef := func(st tlb.Stats, hitCycles float64) float64 {
+			if st.Accesses == 0 {
+				return 0
+			}
+			return hitCycles + st.MissRatio()*metrics.MissPenaltyTwo
+		}
+		ust := unified.Stats()
+		// Sequential: every access pays one probe; large hits and misses
+		// pay a second.
+		reprobeFrac := float64(ust.Reprobes()) / float64(ust.Accesses)
+		parallel := perRef(ust, probeCycles)
+		sequential := perRef(ust, probeCycles+reprobeFrac*probeCycles)
+		splitCost := perRef(split.Stats(), probeCycles)
+		// Two-level: L1 hits 1 cycle; L2 refills add l2ProbeCycles.
+		tst := twoLvl.Stats()
+		l2Frac := float64(twoLvl.L2Hits) / float64(tst.Accesses)
+		twoLevel := perRef(tst, probeCycles+l2Frac*l2ProbeCycles)
+		tbl.Row(s.Name,
+			tableio.F(parallel, 3),
+			tableio.F(sequential, 3),
+			tableio.F(splitCost, 3),
+			tableio.F(twoLevel, 3),
+			tableio.F(100*reprobeFrac, 0)+"%")
+	}
+	tbl.Note("Parallel and sequential share contents; sequential adds a reprobe on every large-page hit and every miss.")
+	return tbl, nil
+}

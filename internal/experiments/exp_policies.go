@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"twopage/internal/addr"
+	"twopage/internal/metrics"
+	"twopage/internal/policy"
+	"twopage/internal/tableio"
+	"twopage/internal/tlb"
+	"twopage/internal/trace"
+	"twopage/internal/window"
+	"twopage/internal/workload"
+)
+
+// largenessOracle is the subset of Assigner the sampled working-set
+// calculator needs: the current page-size mapping of a chunk.
+type largenessOracle interface {
+	policy.Assigner
+	IsLarge(c addr.PN) bool
+}
+
+// runPolicyVariant drives one alternative policy over the workload with
+// a 16-entry FA TLB, sampling the two-page working-set size from a
+// sliding window every sampleEvery references (the incremental WSS
+// calculator is specific to the paper's TwoSize policy; sampling is
+// exact at the sample points and plenty for an ablation).
+func runPolicyVariant(s workload.Spec, refs uint64, pol largenessOracle, T int) (cpi float64, avgWSS float64, largeFrac float64, err error) {
+	return runPolicyVariantOn(s.New(refs), pol, T)
+}
+
+// runPolicyVariantOn is runPolicyVariant over an arbitrary stream.
+func runPolicyVariantOn(src trace.Reader, pol largenessOracle, T int) (cpi float64, avgWSS float64, largeFrac float64, err error) {
+	hw := tlb.NewFullyAssoc(16)
+	win := window.New(T)
+	const sampleEvery = 256
+	var instrs, samples uint64
+	var wssSum float64
+	err = drainInto(src, func(batch []trace.Ref) {
+		for _, ref := range batch {
+			if ref.Kind == trace.Instr {
+				instrs++
+			}
+			res := pol.Assign(ref.Addr)
+			if res.Event == policy.EventPromote {
+				first := addr.FirstBlock(res.Chunk)
+				for i := addr.PN(0); i < addr.BlocksPerChunk; i++ {
+					hw.Invalidate(policy.Page{Number: first + i, Shift: addr.BlockShift})
+				}
+			}
+			hw.Access(ref.Addr, res.Page)
+			win.StepVA(ref.Addr)
+			if win.Steps()%sampleEvery == 0 {
+				var w uint64
+				win.ActiveChunks(func(c addr.PN, blocks int) {
+					if pol.IsLarge(c) {
+						w += addr.ChunkSize
+					} else {
+						w += uint64(blocks) * addr.BlockSize
+					}
+				})
+				wssSum += float64(w)
+				samples++
+			}
+		}
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	cpi = metrics.CPITLB(hw.Stats().Misses(), instrs, metrics.MissPenaltyTwo)
+	if samples > 0 {
+		avgWSS = wssSum / float64(samples)
+	}
+	var st policy.TwoSizeStats
+	switch p := pol.(type) {
+	case *policy.TwoSize:
+		st = p.Stats()
+	case *policy.Region:
+		st = p.Stats()
+	case *policy.Cumulative:
+		st = p.Stats()
+	}
+	if st.Refs > 0 {
+		largeFrac = float64(st.LargeRefs) / float64(st.Refs)
+	}
+	return cpi, avgWSS, largeFrac, nil
+}
+
+// oracleRegions derives static large-page hints from a profiling pass:
+// chunks whose whole-trace density meets the paper's threshold become
+// large regions — the "reorganizing code and data" best case, with
+// perfect knowledge.
+func oracleRegions(s workload.Spec, refs uint64) ([]policy.Range, error) {
+	blocks := map[addr.PN]bool{}
+	if err := drainInto(s.New(refs), func(batch []trace.Ref) {
+		for _, ref := range batch {
+			blocks[addr.Block(ref.Addr)] = true
+		}
+	}); err != nil {
+		return nil, err
+	}
+	dense := map[addr.PN]int{}
+	for b := range blocks {
+		dense[addr.ChunkOfBlock(b)]++
+	}
+	var ranges []policy.Range
+	for c, n := range dense {
+		if n >= addr.BlocksPerChunk/2 {
+			ranges = append(ranges, policy.Range{
+				Start: addr.VA(uint64(c) << addr.ChunkShift),
+				End:   addr.VA((uint64(c) + 1) << addr.ChunkShift),
+			})
+		}
+	}
+	return ranges, nil
+}
+
+// Policies compares page-size assignment policies — the axis the
+// paper's conclusion flags as its biggest unknown: the dynamic windowed
+// policy (Section 3.4), a static-hint oracle (profile-derived large
+// regions; "reorganizing code and data", the better case), and a
+// cumulative promote-once policy ("less dynamic information", the
+// worse case).
+func Policies(o Options) (*tableio.Table, error) {
+	o = o.normalized()
+	specs, err := o.ablationSpecs()
+	if err != nil {
+		return nil, err
+	}
+	tbl := tableio.New("Extension: page-size assignment policies (16-entry FA, 25-cycle penalty)",
+		"Program", "CPI dyn", "CPI static", "CPI cumul", "WSn dyn", "WSn static", "WSn cumul", "lg% dyn/st/cu")
+	for _, s := range specs {
+		refs := refsFor(s, o.Scale)
+		T := windowFor(refs)
+		base, _, err := wsNormSingle(s.New(refs), uint64(T), []uint{addr.Shift32K})
+		if err != nil {
+			return nil, err
+		}
+		ranges, err := oracleRegions(s, refs)
+		if err != nil {
+			return nil, err
+		}
+		static, err := policy.NewRegion(policy.RegionConfig{LargeRegions: ranges})
+		if err != nil {
+			return nil, err
+		}
+		type variant struct {
+			pol largenessOracle
+		}
+		variants := []variant{
+			{policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))},
+			{static},
+			{policy.NewCumulative(policy.CumulativeConfig{Threshold: addr.BlocksPerChunk / 2})},
+		}
+		var cpis, wsns, lgs []float64
+		for _, v := range variants {
+			cpi, wss, lg, err := runPolicyVariant(s, refs, v.pol, T)
+			if err != nil {
+				return nil, err
+			}
+			cpis = append(cpis, cpi)
+			wsns = append(wsns, wss/base)
+			lgs = append(lgs, 100*lg)
+		}
+		tbl.Row(s.Name,
+			tableio.F(cpis[0], 3), tableio.F(cpis[1], 3), tableio.F(cpis[2], 3),
+			tableio.F(wsns[0], 2), tableio.F(wsns[1], 2), tableio.F(wsns[2], 2),
+			tableio.F(lgs[0], 0)+"/"+tableio.F(lgs[1], 0)+"/"+tableio.F(lgs[2], 0))
+	}
+	tbl.Note("static = profile-derived large regions (oracle); cumul = promote-once on lifetime touches, never demote.")
+	return tbl, nil
+}

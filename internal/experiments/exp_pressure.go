@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"twopage/internal/addr"
+	"twopage/internal/mmu"
+	"twopage/internal/policy"
+	"twopage/internal/tableio"
+	"twopage/internal/tlb"
+)
+
+// Pressure drives the full MMU (TLB + page table + buddy allocator +
+// clock replacement) under shrinking physical memory, for the 4KB
+// baseline and the two-page scheme. It quantifies the costs the paper
+// names but cannot measure: page faults from the larger working set,
+// promotion copy traffic, and large-page allocations blocked by
+// external fragmentation.
+func Pressure(o Options) (*tableio.Table, error) {
+	o = o.normalized()
+	specs, err := o.ablationSpecs()
+	if err != nil {
+		return nil, err
+	}
+	tbl := tableio.New("Extension: end-to-end MMU under memory pressure (per 1000 accesses)",
+		"Program", "Memory", "Policy", "cyc/access", "faults", "evictions", "frag-blocked", "copiedKB")
+	for _, s := range specs {
+		refs := refsFor(s, o.Scale)
+		T := windowFor(refs)
+		for _, memKB := range []int{16 << 10, 1 << 10, 512} {
+			for _, two := range []bool{false, true} {
+				var pol policy.Assigner
+				name := "4KB"
+				if two {
+					pol = policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))
+					name = "4KB/32KB"
+				} else {
+					pol = policy.NewSingle(addr.Size4K)
+				}
+				m, err := mmu.New(mmu.Config{
+					TLB:    tlb.NewFullyAssoc(16),
+					Policy: pol,
+					Memory: addr.PageSize(memKB << 10),
+				})
+				if err != nil {
+					return nil, err
+				}
+				st, err := m.Run(s.New(refs))
+				if err != nil {
+					return nil, err
+				}
+				per := float64(st.Accesses) / 1000
+				frag := m.Memory().Stats().FailedLargeFragmented
+				mem := fmt.Sprintf("%dKB", memKB)
+				if memKB >= 1<<10 {
+					mem = fmt.Sprintf("%dMB", memKB>>10)
+				}
+				tbl.Row(s.Name, mem, name,
+					tableio.F(st.CyclesPerAccess(), 2),
+					tableio.F(float64(st.Faults)/per, 2),
+					tableio.F(float64(st.Evictions)/per, 2),
+					fmt.Sprintf("%d", frag),
+					tableio.F(float64(st.CopiedBytes)/1024, 0))
+			}
+		}
+	}
+	tbl.Note("Ample memory isolates TLB effects; tight memory exposes the working-set cost of large pages as faults.")
+	return tbl, nil
+}

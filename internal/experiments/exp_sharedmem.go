@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"twopage/internal/addr"
+	"twopage/internal/mmu"
+	"twopage/internal/multiprog"
+	"twopage/internal/policy"
+	"twopage/internal/tableio"
+	"twopage/internal/tlb"
+	"twopage/internal/workload"
+)
+
+// SharedMem composes the two systems the paper names as missing —
+// multiprogramming and memory management — into one measurement: four
+// processes share one physical memory under the full MMU (demand
+// paging, clock replacement, promotion), and the 4KB baseline competes
+// with the two-page policy as memory shrinks. It quantifies the
+// paper's Section 6 worry that "larger working sets either demand a
+// larger main memory, cause a higher page fault rate, or both" — in
+// the multiprogrammed setting where the pressure actually arises.
+func SharedMem(o Options) (*tableio.Table, error) {
+	o = o.normalized()
+	mix := []string{"li", "x11perf", "espresso", "eqntott"}
+	base, err := workload.Get("li")
+	if err != nil {
+		return nil, err
+	}
+	perProc := refsFor(base, o.Scale)
+	quantum := int(perProc / 50)
+	if quantum < 2000 {
+		quantum = 2000
+	}
+	T := windowFor(perProc * uint64(len(mix)))
+
+	tbl := tableio.New("Extension: four processes sharing memory under the full MMU (per 1000 accesses)",
+		"Memory", "Policy", "cyc/access", "TLB miss%", "faults", "evictions", "copiedKB")
+	for _, memMB := range []int{16, 4, 2} {
+		for _, two := range []bool{false, true} {
+			var pol policy.Assigner
+			name := "4KB"
+			if two {
+				pol = policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))
+				name = "4KB/32KB"
+			} else {
+				pol = policy.NewSingle(addr.Size4K)
+			}
+			procs := make([]multiprog.Process, len(mix))
+			for i, wname := range mix {
+				s, err := workload.Get(wname)
+				if err != nil {
+					return nil, err
+				}
+				procs[i] = multiprog.Process{Name: wname, Source: s.New(perProc)}
+			}
+			mp, err := multiprog.New(procs, quantum)
+			if err != nil {
+				return nil, err
+			}
+			m, err := mmu.New(mmu.Config{
+				TLB:    tlb.NewFullyAssoc(64),
+				Policy: pol,
+				Memory: addr.PageSize(memMB << 20),
+			})
+			if err != nil {
+				return nil, err
+			}
+			st, err := m.Run(mp)
+			if err != nil {
+				return nil, err
+			}
+			per := float64(st.Accesses) / 1000
+			tbl.Row(fmt.Sprintf("%dMB", memMB), name,
+				tableio.F(st.CyclesPerAccess(), 2),
+				tableio.F(100*float64(st.TLBMisses)/float64(st.Accesses), 2),
+				tableio.F(float64(st.Faults)/per, 2),
+				tableio.F(float64(st.Evictions)/per, 2),
+				tableio.F(float64(st.CopiedBytes)/1024, 0))
+		}
+	}
+	tbl.Note("Four-process mix (li, x11perf, espresso, eqntott), 64-entry FA TLB with ASID-tagged entries.")
+	return tbl, nil
+}

@@ -1,0 +1,290 @@
+// Package experiments defines one runnable experiment per table and
+// figure of the paper's evaluation (Sections 4 and 5), plus ablations
+// over the design choices DESIGN.md calls out. Each experiment knows its
+// workloads, simulator configurations and output format; cmd/paper and
+// the repository-level benchmarks are thin wrappers over this package.
+//
+// All experiments take an Options with a Scale knob: trace lengths and
+// working-set windows shrink proportionally, so the same code serves
+// quick smoke runs (scale 0.01), benchmarks, and full-fidelity
+// reproductions (scale 1).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"twopage/internal/tableio"
+	"twopage/internal/tlb"
+	"twopage/internal/workload"
+)
+
+// Options parameterizes an experiment run.
+type Options struct {
+	// Scale multiplies every workload's trace length (and, indirectly,
+	// its working-set window T). 1.0 is the full default; 0 means 1.0.
+	Scale float64
+	// Workloads restricts the run to these program names; nil means the
+	// experiment's default set (usually all twelve).
+	Workloads []string
+	// Out receives the rendered table; nil means os.Stdout.
+	Out io.Writer
+	// CSV renders comma-separated values instead of an aligned table.
+	CSV bool
+}
+
+func (o Options) normalized() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if o.Out == nil {
+		o.Out = os.Stdout
+	}
+	return o
+}
+
+// specs resolves the option's workload set (default all) to specs.
+func (o Options) specs() ([]workload.Spec, error) {
+	if len(o.Workloads) == 0 {
+		return workload.All(), nil
+	}
+	var out []workload.Spec
+	for _, name := range o.Workloads {
+		s, err := workload.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// refsFor scales a workload's default trace length, with a floor that
+// keeps windows meaningful.
+func refsFor(s workload.Spec, scale float64) uint64 {
+	r := uint64(float64(s.DefaultRefs) * scale)
+	if r < 40_000 {
+		r = 40_000
+	}
+	return r
+}
+
+// windowFor derives the working-set / policy window T from the trace
+// length. The paper pairs ~10^8-10^9-reference traces with T = 10M,
+// i.e. T is a few percent to ~10% of the trace; we use refs/8.
+func windowFor(refs uint64) int {
+	t := refs / 8
+	if t < 5_000 {
+		t = 5_000
+	}
+	return int(t)
+}
+
+// twoWay builds an n-entry 2-way set-associative TLB with the given
+// index scheme — the organization of Figure 5.2 and Table 5.1.
+func twoWay(entries int, ix tlb.IndexScheme) tlb.TLB {
+	return tlb.MustNew(tlb.Config{Entries: entries, Ways: 2, Index: ix})
+}
+
+// Experiment couples an identifier with a runner.
+type Experiment struct {
+	// ID is the command-line name, e.g. "table3.1".
+	ID string
+	// Title is the table heading.
+	Title string
+	// About summarizes what the paper artifact shows.
+	About string
+	// Run executes the experiment and returns the rendered table.
+	Run func(Options) (*tableio.Table, error)
+}
+
+var registry = []Experiment{
+	{
+		ID:    "table3.1",
+		Title: "Table 3.1: Workloads",
+		About: "trace length, references per instruction and average 4KB working-set size per program",
+		Run:   Table31,
+	},
+	{
+		ID:    "fig4.1",
+		Title: "Figure 4.1: WS_Normalized vs single page size",
+		About: "normalized working-set growth for 8KB..64KB pages (paper: ~1.67x at 32KB, ~2.03x at 64KB on average)",
+		Run:   Fig41,
+	},
+	{
+		ID:    "fig4.2",
+		Title: "Figure 4.2: WS_Normalized, single sizes vs two page sizes",
+		About: "the two-page scheme's working-set cost (paper: 1.01-1.22, average ~1.1) against 8/16/32KB single sizes",
+		Run:   Fig42,
+	},
+	{
+		ID:    "fig5.1",
+		Title: "Figure 5.1: CPI_TLB, 16-entry fully associative TLB",
+		About: "32KB pages cut CPI_TLB ~8x; the two-page scheme lands close to 32KB despite the 25% penalty",
+		Run:   Fig51,
+	},
+	{
+		ID:    "fig5.2",
+		Title: "Figure 5.2: CPI_TLB, 16/32-entry two-way set-associative TLBs",
+		About: "set-associative results are mixed: most programs win with two page sizes, espresso/worm degrade, tomcatv thrashes",
+		Run:   Fig52,
+	},
+	{
+		ID:    "table5.1",
+		Title: "Table 5.1: Comparison of indexing schemes",
+		About: "4KB vs 4KB-with-large-index vs two-page large-index vs two-page exact-index, 16- and 32-entry two-way",
+		Run:   Table51,
+	},
+	{
+		ID:    "deltamp",
+		Title: "Critical miss-penalty increase Δmp(4KB/32KB)",
+		About: "how much extra miss penalty the two-page scheme can absorb and still beat 4KB (paper: 30%-1200% for the winners)",
+		Run:   DeltaMP,
+	},
+	{
+		ID:    "sensitivity",
+		Title: "Section 4: sensitivity of WS_Normalized to T",
+		About: "the working-set trends are insensitive to halving/doubling T (paper varies T over 10/25/50M)",
+		Run:   SensitivityT,
+	},
+	{
+		ID:    "indexing",
+		Title: "Section 5.2.1: large-page index with no large pages allocated",
+		About: "hardware indexed by the large page number degrades badly when software never allocates large pages",
+		Run:   Indexing,
+	},
+	{
+		ID:    "threshold",
+		Title: "Ablation: promotion threshold sweep",
+		About: "CPI_TLB, working-set cost and large-page usage as the promote threshold varies over 1..8 blocks",
+		Run:   ThresholdSweep,
+	},
+	{
+		ID:    "combos",
+		Title: "Ablation: 4KB/16KB vs 4KB/32KB vs 4KB/64KB",
+		About: "the page-size combinations the authors measured but could not print (Section 3.2)",
+		Run:   Combos,
+	},
+	{
+		ID:    "split",
+		Title: "Ablation: split vs unified two-page TLBs",
+		About: "Section 2.2 option (c): separate per-size TLBs against a unified exact-index TLB and fully associative",
+		Run:   SplitVsUnified,
+	},
+	{
+		ID:    "replacement",
+		Title: "Ablation: replacement policy (LRU/FIFO/random)",
+		About: "the paper assumes LRU; how much replacement matters at these tiny TLB sizes",
+		Run:   ReplacementSweep,
+	},
+	{
+		ID:    "multiprog",
+		Title: "Extension: multiprogramming (ASID vs flush)",
+		About: "the workload class the paper could not trace: round-robin process mixes, with and without TLB flushing on context switch",
+		Run:   Multiprog,
+	},
+	{
+		ID:    "misshandling",
+		Title: "Extension: miss-handler organizations",
+		About: "two-level walk vs hashed tables (both probe orders) vs a software translation cache, per Section 2.3's sketch",
+		Run:   MissHandling,
+	},
+	{
+		ID:    "sharedmem",
+		Title: "Extension: multiprogrammed MMU under shared memory",
+		About: "four processes share physical memory through the full MMU: the paper's two missing dimensions combined",
+		Run:   SharedMem,
+	},
+	{
+		ID:    "pressure",
+		Title: "Extension: MMU under memory pressure",
+		About: "full demand-paging MMU: faults, evictions, promotion copies and fragmentation as memory shrinks",
+		Run:   Pressure,
+	},
+	{
+		ID:    "phases",
+		Title: "Extension: phased program behaviour",
+		About: "why the policy is dynamic: demotion reclaims large mappings after a dense phase ends; promote-forever policies cannot",
+		Run:   Phases,
+	},
+	{
+		ID:    "designspace",
+		Title: "Extension: one-pass design-space sweep",
+		About: "Section 3.3's methodology reproduced: ~96 TLB configurations from one stack-simulation pass, time-compared with a direct simulation",
+		Run:   DesignSpace,
+	},
+	{
+		ID:    "accesscost",
+		Title: "Extension: exact-index access strategies",
+		About: "Section 2.2 options priced: parallel probe vs sequential reprobe vs split TLBs vs a two-level hierarchy",
+		Run:   AccessCost,
+	},
+	{
+		ID:    "policies",
+		Title: "Extension: page-size assignment policies",
+		About: "the paper's windowed policy vs a profile-derived static oracle vs a promote-once cumulative policy",
+		Run:   Policies,
+	},
+	{
+		ID:    "diskio",
+		Title: "Extension: disk paging amortization",
+		About: "Section 1's third large-page advantage: positioning cost amortized over bigger transfers, measured end to end",
+		Run:   DiskIO,
+	},
+	{
+		ID:    "protect",
+		Title: "Extension: protection granularity",
+		About: "Section 1's cost: sub-page write protection causes spurious faults on large pages; a promotion veto is the OS fix",
+		Run:   Protect,
+	},
+	{
+		ID:    "cachetlb",
+		Title: "Extension: L1 tagging vs TLB pressure",
+		About: "Section 1's argument quantified: physically tagged caches put the TLB on every access, virtually tagged only on L1 misses",
+		Run:   CacheTLB,
+	},
+	{
+		ID:    "conflict",
+		Title: "Extension: victim buffers and prefetching",
+		About: "conflict-mitigation hardware for two-page set-associative TLBs (tomcatv's cure without full associativity)",
+		Run:   Conflict,
+	},
+	{
+		ID:    "tlbsweep",
+		Title: "Extension: TLB size sweep 8..128 entries",
+		About: "all-associativity pass quantifying why the paper capped its TLBs below 64 entries",
+		Run:   TLBSweep,
+	},
+}
+
+// All returns the experiments in presentation order.
+func All() []Experiment { return append([]Experiment(nil), registry...) }
+
+// Get finds an experiment by ID.
+func Get(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// Run executes the experiment and writes its table to o.Out.
+func Run(id string, o Options) error {
+	e, err := Get(id)
+	if err != nil {
+		return err
+	}
+	o = o.normalized()
+	tbl, err := e.Run(o)
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	if o.CSV {
+		return tbl.CSV(o.Out)
+	}
+	_, err = tbl.WriteTo(o.Out)
+	return err
+}

@@ -1,0 +1,87 @@
+// Package metrics implements the paper's evaluation metrics
+// (Section 3.2): CPI_TLB, misses per instruction, TLB miss ratio,
+// normalized working-set size, and the critical miss-penalty increase,
+// plus the penalty model of Section 2.3.
+package metrics
+
+import "math"
+
+// Miss-penalty model (paper Sections 2.3 and 3.2): a software-handled
+// TLB miss costs 20 cycles for a single-page-size TLB; miss handlers
+// that must cope with two page sizes are estimated to run about 25%
+// longer (25 cycles), which also folds in page-promotion costs
+// (Section 3.4).
+const (
+	MissPenaltySingle = 20.0
+	MissPenaltyTwo    = 25.0
+	// TwoSizePenaltyFactor is the assumed relative increase:
+	// MissPenaltyTwo = TwoSizePenaltyFactor × MissPenaltySingle.
+	TwoSizePenaltyFactor = 1.25
+)
+
+// MPI returns TLB misses per instruction.
+func MPI(misses, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(misses) / float64(instructions)
+}
+
+// CPITLB returns the TLB contribution to cycles per instruction:
+// CPI_TLB = MPI × miss penalty.
+func CPITLB(misses, instructions uint64, missPenalty float64) float64 {
+	return MPI(misses, instructions) * missPenalty
+}
+
+// MissRatio converts misses per instruction to a per-reference miss
+// ratio given RPI (references per instruction): miss ratio = MPI / RPI.
+func MissRatio(mpi, rpi float64) float64 {
+	if rpi == 0 {
+		return 0
+	}
+	return mpi / rpi
+}
+
+// WSNormalized returns the normalized working-set size
+// s(T, ps) / s(T, 4KB) of Section 3.2.
+func WSNormalized(avgBytes, baseBytes float64) float64 {
+	if baseBytes == 0 {
+		return 0
+	}
+	return avgBytes / baseBytes
+}
+
+// CriticalMissPenaltyIncrease returns Δmp(ps) in percent: the miss
+// penalty increase that a scheme can tolerate and still match the
+// CPI_TLB of the 4KB baseline, (MPI(4KB)/MPI(ps) − 1) × 100%
+// (Section 3.2). A scheme with fewer misses than the baseline has
+// positive headroom; more misses, negative.
+func CriticalMissPenaltyIncrease(mpi4K, mpiScheme float64) float64 {
+	if mpiScheme == 0 {
+		if mpi4K == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (mpi4K/mpiScheme - 1) * 100
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Ratio safely divides, returning 0 when the denominator is 0.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

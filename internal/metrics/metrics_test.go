@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPenaltyModel(t *testing.T) {
+	if MissPenaltyTwo != TwoSizePenaltyFactor*MissPenaltySingle {
+		t.Fatalf("penalty model inconsistent: %v != %v × %v",
+			MissPenaltyTwo, TwoSizePenaltyFactor, MissPenaltySingle)
+	}
+}
+
+func TestMPIAndCPI(t *testing.T) {
+	if got := MPI(50, 1000); got != 0.05 {
+		t.Fatalf("MPI = %v", got)
+	}
+	if got := MPI(50, 0); got != 0 {
+		t.Fatalf("MPI with zero instructions = %v", got)
+	}
+	if got := CPITLB(50, 1000, MissPenaltySingle); got != 1.0 {
+		t.Fatalf("CPITLB = %v", got)
+	}
+	if got := CPITLB(50, 1000, MissPenaltyTwo); got != 1.25 {
+		t.Fatalf("CPITLB two-size = %v", got)
+	}
+}
+
+func TestMissRatio(t *testing.T) {
+	if got := MissRatio(0.05, 1.25); math.Abs(got-0.04) > 1e-12 {
+		t.Fatalf("miss ratio = %v", got)
+	}
+	if MissRatio(0.05, 0) != 0 {
+		t.Fatal("zero RPI should give 0")
+	}
+}
+
+func TestWSNormalized(t *testing.T) {
+	if got := WSNormalized(167, 100); got != 1.67 {
+		t.Fatalf("WSNormalized = %v", got)
+	}
+	if WSNormalized(167, 0) != 0 {
+		t.Fatal("zero base should give 0")
+	}
+}
+
+func TestCriticalMissPenaltyIncrease(t *testing.T) {
+	// Paper Section 3.2: Δmp = (MPI(4KB)/MPI(ps) − 1) × 100%.
+	if got := CriticalMissPenaltyIncrease(0.08, 0.01); math.Abs(got-700) > 1e-9 {
+		t.Fatalf("Δmp = %v, want 700", got)
+	}
+	// A scheme with more misses than the baseline has negative headroom.
+	if got := CriticalMissPenaltyIncrease(0.01, 0.02); got >= 0 {
+		t.Fatalf("Δmp = %v, want negative", got)
+	}
+	if got := CriticalMissPenaltyIncrease(0.01, 0); !math.IsInf(got, 1) {
+		t.Fatalf("Δmp with zero scheme MPI = %v, want +Inf", got)
+	}
+	if got := CriticalMissPenaltyIncrease(0, 0); got != 0 {
+		t.Fatalf("Δmp(0,0) = %v", got)
+	}
+}
+
+// The paper's identity: Δmp can equivalently be computed from CPI_TLB as
+// (1.25 × CPI_TLB(4KB)/CPI_TLB(ps) − 1) × 100% when ps is a two-page
+// scheme (the 1.25 cancels the penalty difference).
+func TestDeltaMPIdentity(t *testing.T) {
+	f := func(m4Raw, mpsRaw uint16) bool {
+		mpi4 := float64(m4Raw%1000+1) / 10000
+		mpiPS := float64(mpsRaw%1000+1) / 10000
+		cpi4 := mpi4 * MissPenaltySingle
+		cpiPS := mpiPS * MissPenaltyTwo
+		direct := CriticalMissPenaltyIncrease(mpi4, mpiPS)
+		viaCPI := (TwoSizePenaltyFactor*cpi4/cpiPS - 1) * 100
+		return math.Abs(direct-viaCPI) < 1e-6*(math.Abs(direct)+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("ratio by zero should be 0")
+	}
+	if Ratio(3, 2) != 1.5 {
+		t.Fatal("ratio wrong")
+	}
+}

@@ -1,0 +1,230 @@
+// Package pagetable implements the software page-table organization a
+// two-page-size operating system needs (paper Section 2.3), and the
+// cycle-cost model that justifies the paper's miss-penalty estimates:
+// about 20 cycles for a software-handled miss with one page size and
+// about 25% more when the handler must also discover the page size.
+//
+// The structure follows the paper's chunk model: the address space is an
+// array of 32KB chunks; each mapped chunk is either one large-page PTE
+// or a block table of eight small-page PTEs. A miss handler probes the
+// chunk entry (one load), tests the size bit (the two-size overhead),
+// and either uses the large PTE or loads the small PTE from the block
+// table. Promote and Demote implement the remapping that the page-size
+// assignment policy triggers, tracking the copy traffic they cause
+// (Section 3.4's promotion costs).
+package pagetable
+
+import (
+	"fmt"
+
+	"twopage/internal/addr"
+)
+
+// Cycle cost model for software miss handling, loosely itemized from
+// the SPARC-style handlers the paper estimated from (Section 2.3):
+// trap entry/exit, per-level table loads, and TLB entry insertion.
+const (
+	// TrapCycles covers exception entry, register save/restore, return.
+	TrapCycles = 8.0
+	// LoadCycles is the cost of one dependent table load.
+	LoadCycles = 4.0
+	// InsertCycles writes the TLB entry.
+	InsertCycles = 4.0
+	// SizeProbeCycles is the extra work of a two-size handler: fetch the
+	// size bit, test, branch to the right PTE format — the paper's
+	// "about 25% longer" (Section 2.3).
+	SizeProbeCycles = 5.0
+)
+
+// SingleSizeHandlerCycles returns the modelled cost of a one-page-size
+// software miss handler: trap + two-level walk + insert = 20 cycles,
+// matching the paper's assumed penalty.
+func SingleSizeHandlerCycles() float64 {
+	return TrapCycles + 2*LoadCycles + InsertCycles
+}
+
+// TwoSizeHandlerCycles returns the modelled cost of a two-page-size
+// handler: the single-size cost plus the size probe = 25 cycles (25%
+// more), matching the paper's assumption.
+func TwoSizeHandlerCycles() float64 {
+	return SingleSizeHandlerCycles() + SizeProbeCycles
+}
+
+// PTE is a page-table entry.
+type PTE struct {
+	Frame addr.PN // physical frame number (at the page's own size)
+	Valid bool
+	Large bool // set on 32KB mappings
+}
+
+// Walk reports what a lookup cost.
+type Walk struct {
+	Found  bool
+	Levels int     // dependent loads performed
+	Cycles float64 // full handler cost for this walk
+	Large  bool    // resolved to a large mapping
+}
+
+type chunkEntry struct {
+	large    bool
+	largePTE PTE
+	blocks   *[addr.BlocksPerChunk]PTE
+}
+
+// Stats counts page-table activity.
+type Stats struct {
+	Lookups     uint64
+	Misses      uint64 // lookups that found no valid mapping
+	Promotions  uint64
+	Demotions   uint64
+	CopiedBytes uint64 // bytes copied by promotions/demotions
+}
+
+// Table is a two-page-size page table.
+type Table struct {
+	chunks map[addr.PN]*chunkEntry
+	stats  Stats
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{chunks: make(map[addr.PN]*chunkEntry)}
+}
+
+// MapSmall installs a 4KB mapping for block b. It fails if the chunk is
+// currently mapped as a large page (the OS must demote first).
+func (t *Table) MapSmall(b addr.PN, frame addr.PN) error {
+	c := addr.ChunkOfBlock(b)
+	ce := t.chunks[c]
+	if ce == nil {
+		ce = &chunkEntry{blocks: new([addr.BlocksPerChunk]PTE)}
+		t.chunks[c] = ce
+	}
+	if ce.large {
+		return fmt.Errorf("pagetable: chunk %#x is mapped large", uint64(c))
+	}
+	ce.blocks[addr.BlockIndex(b)] = PTE{Frame: frame, Valid: true}
+	return nil
+}
+
+// MapLarge installs a 32KB mapping for chunk c, replacing nothing: it
+// fails if any small mapping exists (use Promote) or the chunk is
+// already large.
+func (t *Table) MapLarge(c addr.PN, frame addr.PN) error {
+	ce := t.chunks[c]
+	if ce != nil {
+		if ce.large {
+			return fmt.Errorf("pagetable: chunk %#x already mapped large", uint64(c))
+		}
+		for _, pte := range ce.blocks {
+			if pte.Valid {
+				return fmt.Errorf("pagetable: chunk %#x has small mappings; promote instead", uint64(c))
+			}
+		}
+	}
+	t.chunks[c] = &chunkEntry{large: true, largePTE: PTE{Frame: frame, Valid: true, Large: true}}
+	return nil
+}
+
+// Unmap removes the mapping covering va (a small PTE or the whole large
+// page). It reports whether anything was unmapped.
+func (t *Table) Unmap(va addr.VA) bool {
+	c := addr.Chunk(va)
+	ce := t.chunks[c]
+	if ce == nil {
+		return false
+	}
+	if ce.large {
+		delete(t.chunks, c)
+		return true
+	}
+	i := addr.BlockInChunk(va)
+	if !ce.blocks[i].Valid {
+		return false
+	}
+	ce.blocks[i] = PTE{}
+	for _, pte := range ce.blocks {
+		if pte.Valid {
+			return true
+		}
+	}
+	delete(t.chunks, c)
+	return true
+}
+
+// Lookup walks the table for va as a two-size-aware miss handler would,
+// charging the full handler cost model.
+func (t *Table) Lookup(va addr.VA) (PTE, Walk) {
+	t.stats.Lookups++
+	w := Walk{Cycles: TrapCycles + SizeProbeCycles + InsertCycles}
+	ce := t.chunks[addr.Chunk(va)]
+	w.Levels = 1
+	w.Cycles += LoadCycles
+	if ce == nil {
+		t.stats.Misses++
+		return PTE{}, w
+	}
+	if ce.large {
+		w.Found = true
+		w.Large = true
+		return ce.largePTE, w
+	}
+	w.Levels = 2
+	w.Cycles += LoadCycles
+	pte := ce.blocks[addr.BlockInChunk(va)]
+	if !pte.Valid {
+		t.stats.Misses++
+		return PTE{}, w
+	}
+	w.Found = true
+	return pte, w
+}
+
+// Promote collapses chunk c's small mappings into one large mapping at
+// newFrame. It returns the small frames that were freed and how many of
+// the eight blocks were resident (and therefore copied to the new large
+// frame). It fails if the chunk has no small mappings.
+func (t *Table) Promote(c addr.PN, newFrame addr.PN) (freed []addr.PN, copied int, err error) {
+	ce := t.chunks[c]
+	if ce == nil || ce.large {
+		return nil, 0, fmt.Errorf("pagetable: chunk %#x has no small mappings to promote", uint64(c))
+	}
+	for _, pte := range ce.blocks {
+		if pte.Valid {
+			freed = append(freed, pte.Frame)
+			copied++
+		}
+	}
+	if copied == 0 {
+		return nil, 0, fmt.Errorf("pagetable: chunk %#x is empty", uint64(c))
+	}
+	t.chunks[c] = &chunkEntry{large: true, largePTE: PTE{Frame: newFrame, Valid: true, Large: true}}
+	t.stats.Promotions++
+	t.stats.CopiedBytes += uint64(copied) * addr.BlockSize
+	return freed, copied, nil
+}
+
+// Demote splits chunk c's large mapping into eight small mappings at the
+// given frames (all eight blocks become resident). It returns the freed
+// large frame.
+func (t *Table) Demote(c addr.PN, frames [addr.BlocksPerChunk]addr.PN) (addr.PN, error) {
+	ce := t.chunks[c]
+	if ce == nil || !ce.large {
+		return 0, fmt.Errorf("pagetable: chunk %#x is not mapped large", uint64(c))
+	}
+	old := ce.largePTE.Frame
+	blocks := new([addr.BlocksPerChunk]PTE)
+	for i, f := range frames {
+		blocks[i] = PTE{Frame: f, Valid: true}
+	}
+	t.chunks[c] = &chunkEntry{blocks: blocks}
+	t.stats.Demotions++
+	t.stats.CopiedBytes += addr.ChunkSize
+	return old, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// MappedChunks returns how many chunks have any mapping.
+func (t *Table) MappedChunks() int { return len(t.chunks) }

@@ -1,0 +1,195 @@
+// Package plot renders the paper's figures as ASCII charts: grouped
+// horizontal bar charts (Figures 5.1 and 5.2 are CPI histograms;
+// Figures 4.1 and 4.2 are working-set curves that read fine as grouped
+// bars, with an optional logarithmic scale matching the paper's log
+// axes).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"twopage/internal/tableio"
+)
+
+// Series is one data series across all categories.
+type Series struct {
+	// Label names the series, e.g. "4KB" or "4KB/32KB".
+	Label string
+	// Values holds one value per category; NaN marks a missing value.
+	Values []float64
+}
+
+// BarChart is a grouped horizontal bar chart.
+type BarChart struct {
+	Title      string
+	Categories []string // e.g. program names
+	Series     []Series
+	// Width is the maximum bar length in characters (default 44).
+	Width int
+	// Log selects a logarithmic bar scale (the paper's Figure 4.1 axes).
+	Log bool
+	// Prec is the number of decimals in the printed value (default 3).
+	Prec int
+}
+
+// WriteTo renders the chart.
+func (c *BarChart) WriteTo(w io.Writer) (int64, error) {
+	if err := c.validate(); err != nil {
+		return 0, err
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 44
+	}
+	prec := c.Prec
+	if prec <= 0 {
+		prec = 3
+	}
+	lo, hi := c.extent()
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	catW, serW := 0, 0
+	for _, cat := range c.Categories {
+		if len(cat) > catW {
+			catW = len(cat)
+		}
+	}
+	for _, s := range c.Series {
+		if len(s.Label) > serW {
+			serW = len(s.Label)
+		}
+	}
+	for ci, cat := range c.Categories {
+		for si, s := range c.Series {
+			label := ""
+			if si == 0 {
+				label = cat
+			}
+			v := s.Values[ci]
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, "%-*s  %-*s |%s\n", catW, label, serW, s.Label, "-")
+				continue
+			}
+			n := c.barLen(v, lo, hi, width)
+			fmt.Fprintf(&b, "%-*s  %-*s |%s %.*f\n",
+				catW, label, serW, s.Label, strings.Repeat("#", n), prec, v)
+		}
+		if ci < len(c.Categories)-1 {
+			b.WriteString("\n")
+		}
+	}
+	scale := "linear"
+	if c.Log {
+		scale = "log"
+	}
+	fmt.Fprintf(&b, "(%s scale, max %.*f)\n", scale, prec, hi)
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func (c *BarChart) validate() error {
+	if len(c.Categories) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("plot: empty chart")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Categories) {
+			return fmt.Errorf("plot: series %q has %d values for %d categories",
+				s.Label, len(s.Values), len(c.Categories))
+		}
+	}
+	return nil
+}
+
+// extent finds the positive min and the max across all values.
+func (c *BarChart) extent() (lo, hi float64) {
+	lo, hi = math.Inf(1), 0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v > hi {
+				hi = v
+			}
+			if v > 0 && v < lo {
+				lo = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo = 1
+	}
+	return lo, hi
+}
+
+func (c *BarChart) barLen(v, lo, hi float64, width int) int {
+	if hi <= 0 || v <= 0 {
+		return 0
+	}
+	var frac float64
+	if c.Log {
+		if hi/lo < 1.0001 {
+			frac = 1
+		} else {
+			frac = math.Log(v/lo) / math.Log(hi/lo)
+		}
+		// Keep a minimum visible bar for the smallest positive value.
+		if frac < 0.02 {
+			frac = 0.02
+		}
+	} else {
+		frac = v / hi
+	}
+	n := int(math.Round(frac * float64(width)))
+	if n < 1 {
+		n = 1
+	}
+	if n > width {
+		n = width
+	}
+	return n
+}
+
+// FromTable builds a chart from a rendered experiment table: catCols
+// are joined to form the category label, valCols become one series
+// each (named by the column header). Cells that do not parse as floats
+// become NaN.
+func FromTable(tbl *tableio.Table, title string, catCols, valCols []int) (*BarChart, error) {
+	if tbl.Rows() == 0 {
+		return nil, fmt.Errorf("plot: empty table")
+	}
+	heads := tbl.Headers()
+	c := &BarChart{Title: title}
+	for _, vc := range valCols {
+		if vc < 0 || vc >= len(heads) {
+			return nil, fmt.Errorf("plot: value column %d out of range", vc)
+		}
+		c.Series = append(c.Series, Series{Label: heads[vc]})
+	}
+	for r := 0; r < tbl.Rows(); r++ {
+		var parts []string
+		for _, cc := range catCols {
+			if cc < 0 || cc >= len(heads) {
+				return nil, fmt.Errorf("plot: category column %d out of range", cc)
+			}
+			if cell := strings.TrimSpace(tbl.Cell(r, cc)); cell != "" {
+				parts = append(parts, cell)
+			}
+		}
+		c.Categories = append(c.Categories, strings.Join(parts, "/"))
+		for i, vc := range valCols {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tbl.Cell(r, vc)), 64)
+			if err != nil {
+				v = math.NaN()
+			}
+			c.Series[i].Values = append(c.Series[i].Values, v)
+		}
+	}
+	return c, nil
+}

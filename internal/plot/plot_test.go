@@ -1,0 +1,168 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"twopage/internal/tableio"
+)
+
+func render(t *testing.T, c *BarChart) string {
+	t.Helper()
+	var sb strings.Builder
+	if _, err := c.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestBasicChart(t *testing.T) {
+	c := &BarChart{
+		Title:      "CPI",
+		Categories: []string{"li", "matrix300"},
+		Series: []Series{
+			{Label: "4KB", Values: []float64{1.6, 2.1}},
+			{Label: "32KB", Values: []float64{0.15, 0.27}},
+		},
+		Width: 20,
+	}
+	out := render(t, c)
+	for _, want := range []string{"CPI", "li", "matrix300", "4KB", "32KB", "2.100", "linear scale"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The max value gets the full-width bar; smaller ones shorter.
+	lines := strings.Split(out, "\n")
+	var max4, max32 int
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "(") { // scale footer
+			continue
+		}
+		bars := strings.Count(ln, "#")
+		if strings.Contains(ln, "2.100") {
+			max4 = bars
+		}
+		if strings.Contains(ln, "0.150") {
+			max32 = bars
+		}
+	}
+	if max4 != 20 {
+		t.Errorf("max bar = %d, want full width 20", max4)
+	}
+	if max32 >= max4/4 {
+		t.Errorf("small bar (%d) should be much shorter than max (%d)", max32, max4)
+	}
+}
+
+func TestLogScaleCompressesRange(t *testing.T) {
+	c := &BarChart{
+		Categories: []string{"a"},
+		Series: []Series{
+			{Label: "lo", Values: []float64{1}},
+			{Label: "mid", Values: []float64{100}},
+			{Label: "hi", Values: []float64{10000}},
+		},
+		Width: 40,
+		Log:   true,
+	}
+	out := render(t, c)
+	var bars []int
+	for _, ln := range strings.Split(out, "\n") {
+		if n := strings.Count(ln, "#"); n > 0 {
+			bars = append(bars, n)
+		}
+	}
+	if len(bars) != 3 {
+		t.Fatalf("bars: %v\n%s", bars, out)
+	}
+	// Log scale: equal ratios give equal increments — mid should sit
+	// halfway between lo and hi.
+	if d1, d2 := bars[1]-bars[0], bars[2]-bars[1]; d1 < d2-2 || d1 > d2+2 {
+		t.Errorf("log spacing uneven: %v", bars)
+	}
+	if !strings.Contains(out, "log scale") {
+		t.Error("missing scale note")
+	}
+}
+
+func TestNaNAndZeroHandling(t *testing.T) {
+	c := &BarChart{
+		Categories: []string{"x"},
+		Series: []Series{
+			{Label: "missing", Values: []float64{math.NaN()}},
+			{Label: "zero", Values: []float64{0}},
+			{Label: "val", Values: []float64{2}},
+		},
+	}
+	out := render(t, c)
+	if !strings.Contains(out, "|-") {
+		t.Errorf("NaN should render as placeholder:\n%s", out)
+	}
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.Contains(ln, "zero") && strings.Contains(ln, "#") {
+			t.Errorf("zero value should have no bar: %q", ln)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []*BarChart{
+		{},
+		{Categories: []string{"a"}},
+		{Categories: []string{"a"}, Series: []Series{{Label: "s", Values: []float64{1, 2}}}},
+	}
+	for i, c := range bad {
+		var sb strings.Builder
+		if _, err := c.WriteTo(&sb); err == nil {
+			t.Errorf("chart %d should fail validation", i)
+		}
+	}
+}
+
+func TestFromTable(t *testing.T) {
+	tbl := tableio.New("t", "Program", "Entries", "4KB", "two")
+	tbl.Row("li", "16", "1.641", "0.202")
+	tbl.Row("worm", "16", "0.855", "1.062")
+	c, err := FromTable(tbl, "chart", []int{0, 1}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Categories) != 2 || c.Categories[0] != "li/16" {
+		t.Fatalf("categories: %v", c.Categories)
+	}
+	if c.Series[0].Label != "4KB" || c.Series[1].Label != "two" {
+		t.Fatalf("series: %+v", c.Series)
+	}
+	if c.Series[1].Values[1] != 1.062 {
+		t.Fatalf("value: %v", c.Series[1].Values)
+	}
+	out := render(t, c)
+	if !strings.Contains(out, "worm/16") {
+		t.Errorf("rendered chart missing category:\n%s", out)
+	}
+
+	// Non-numeric cells become NaN rather than failing.
+	tbl2 := tableio.New("t", "P", "v")
+	tbl2.Row("a", "not-a-number")
+	c2, err := FromTable(tbl2, "", []int{0}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(c2.Series[0].Values[0]) {
+		t.Fatal("unparsable cell should be NaN")
+	}
+
+	// Column range errors.
+	if _, err := FromTable(tbl, "", []int{9}, []int{1}); err == nil {
+		t.Error("bad category column should fail")
+	}
+	if _, err := FromTable(tbl, "", []int{0}, []int{9}); err == nil {
+		t.Error("bad value column should fail")
+	}
+	empty := tableio.New("t", "a")
+	if _, err := FromTable(empty, "", []int{0}, []int{0}); err == nil {
+		t.Error("empty table should fail")
+	}
+}

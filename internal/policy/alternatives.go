@@ -1,0 +1,178 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"twopage/internal/addr"
+)
+
+// This file implements the alternative page-size assignment policies the
+// paper's conclusion speculates about: "A real page-mapping policy may
+// perform much better (e.g., by reorganizing code and data for the new
+// page sizes) or much worse (e.g., mapping policies might use less
+// dynamic information)". Region models the better case — an OS/compiler
+// that knows ahead of time which address ranges deserve large pages —
+// and Cumulative the worse one — a policy with no reference window,
+// only lifetime touch counts.
+
+// RegionConfig declares address ranges to map with large pages; all
+// other addresses use small pages. It models static placement hints
+// (madvise-style, or a linker packing hot segments onto aligned 32KB
+// regions).
+type RegionConfig struct {
+	// LargeRegions lists [start, end) byte ranges to map large. They
+	// are rounded outward to 32KB boundaries.
+	LargeRegions []Range
+}
+
+// Range is a half-open virtual address interval.
+type Range struct {
+	Start addr.VA
+	End   addr.VA
+}
+
+// Region is the static-hint policy.
+type Region struct {
+	chunks []addr.PN // sorted first-chunk numbers of large ranges
+	ends   []addr.PN // matching one-past-last chunk numbers
+	stats  TwoSizeStats
+}
+
+// NewRegion builds the static-hint policy from cfg.
+func NewRegion(cfg RegionConfig) (*Region, error) {
+	type span struct{ lo, hi addr.PN }
+	var spans []span
+	for _, r := range cfg.LargeRegions {
+		if r.End <= r.Start {
+			return nil, fmt.Errorf("policy: empty region [%#x, %#x)", uint64(r.Start), uint64(r.End))
+		}
+		spans = append(spans, span{
+			lo: addr.Chunk(r.Start),
+			hi: addr.Chunk(r.End-1) + 1,
+		})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	p := &Region{}
+	for _, s := range spans {
+		if n := len(p.ends); n > 0 && s.lo <= p.ends[n-1] {
+			if s.hi > p.ends[n-1] {
+				p.ends[n-1] = s.hi // merge overlap
+			}
+			continue
+		}
+		p.chunks = append(p.chunks, s.lo)
+		p.ends = append(p.ends, s.hi)
+	}
+	return p, nil
+}
+
+// inLarge reports whether chunk c falls in a declared large region.
+func (p *Region) inLarge(c addr.PN) bool {
+	i := sort.Search(len(p.chunks), func(i int) bool { return p.chunks[i] > c })
+	return i > 0 && c < p.ends[i-1]
+}
+
+// Assign implements Assigner.
+func (p *Region) Assign(va addr.VA) Result {
+	p.stats.Refs++
+	c := addr.Chunk(va)
+	if p.inLarge(c) {
+		p.stats.LargeRefs++
+		return Result{Page: Page{Number: c, Shift: addr.ChunkShift}}
+	}
+	p.stats.SmallRefs++
+	return Result{Page: Page{Number: addr.Block(va), Shift: addr.BlockShift}}
+}
+
+// Name implements Assigner.
+func (p *Region) Name() string { return "4KB/32KB static" }
+
+// Stats returns reference counters.
+func (p *Region) Stats() TwoSizeStats { return p.stats }
+
+// CumulativeConfig parameterizes the less-dynamic policy.
+type CumulativeConfig struct {
+	// Threshold is the number of distinct blocks of a chunk that must
+	// have been touched *ever* (no window) before the chunk is promoted.
+	// Must be in [1, 8].
+	Threshold int
+}
+
+// Cumulative is the "less dynamic information" policy: it promotes a
+// chunk once its lifetime distinct-block count reaches the threshold
+// and never demotes. Compared with the paper's windowed policy it
+// over-promotes long-running programs: any chunk whose blocks are
+// touched even once each, ever, ends up large, so the working set
+// drifts toward the 32KB single-size cost.
+type Cumulative struct {
+	threshold int
+	touched   map[addr.PN]uint8 // chunk -> bitmap of blocks ever touched
+	large     map[addr.PN]bool
+	stats     TwoSizeStats
+}
+
+// NewCumulative builds the less-dynamic policy.
+func NewCumulative(cfg CumulativeConfig) *Cumulative {
+	if cfg.Threshold < 1 || cfg.Threshold > addr.BlocksPerChunk {
+		panic(fmt.Sprintf("policy: cumulative threshold %d out of range [1,%d]",
+			cfg.Threshold, addr.BlocksPerChunk))
+	}
+	return &Cumulative{
+		threshold: cfg.Threshold,
+		touched:   make(map[addr.PN]uint8),
+		large:     make(map[addr.PN]bool),
+	}
+}
+
+// Assign implements Assigner.
+func (p *Cumulative) Assign(va addr.VA) Result {
+	p.stats.Refs++
+	c := addr.Chunk(va)
+	var res Result
+	if !p.large[c] {
+		bits := p.touched[c] | 1<<addr.BlockInChunk(va)
+		p.touched[c] = bits
+		n := 0
+		for b := bits; b != 0; b &= b - 1 {
+			n++
+		}
+		if n >= p.threshold {
+			p.large[c] = true
+			delete(p.touched, c)
+			p.stats.Promotions++
+			res.Event = EventPromote
+			res.Chunk = c
+		}
+	}
+	if p.large[c] {
+		p.stats.LargeRefs++
+		res.Page = Page{Number: c, Shift: addr.ChunkShift}
+		return res
+	}
+	p.stats.SmallRefs++
+	res.Page = Page{Number: addr.Block(va), Shift: addr.BlockShift}
+	return res
+}
+
+// Name implements Assigner.
+func (p *Cumulative) Name() string { return "4KB/32KB cumulative" }
+
+// Stats returns policy counters.
+func (p *Cumulative) Stats() TwoSizeStats {
+	s := p.stats
+	s.LargeChunks = len(p.large)
+	return s
+}
+
+// IsLarge reports whether chunk c has been promoted.
+func (p *Cumulative) IsLarge(c addr.PN) bool { return p.large[c] }
+
+// Compile-time interface checks.
+var (
+	_ Assigner = (*Region)(nil)
+	_ Assigner = (*Cumulative)(nil)
+)
+
+// IsLarge reports whether chunk c falls in a declared large region.
+func (p *Region) IsLarge(c addr.PN) bool { return p.inLarge(c) }

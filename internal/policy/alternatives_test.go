@@ -1,0 +1,145 @@
+package policy
+
+import (
+	"testing"
+
+	"twopage/internal/addr"
+)
+
+func TestRegionAssign(t *testing.T) {
+	p, err := NewRegion(RegionConfig{LargeRegions: []Range{
+		{Start: 0x10000, End: 0x30000},   // chunks 2..5 (rounded outward)
+		{Start: 0x100000, End: 0x100001}, // single byte → chunk 32
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside the first region.
+	res := p.Assign(0x18000)
+	if res.Page.Shift != addr.ChunkShift || res.Page.Number != 3 {
+		t.Fatalf("in-region assign: %+v", res.Page)
+	}
+	if res.Event != EventNone {
+		t.Fatal("static policy must not emit events")
+	}
+	// Rounding outward: 0x10000 is chunk 2 start; end 0x30000 → chunk 5
+	// is last included (0x2FFFF is in chunk 5).
+	if got := p.Assign(0x2FFFF); got.Page.Shift != addr.ChunkShift {
+		t.Fatalf("end rounding: %+v", got.Page)
+	}
+	if got := p.Assign(0x30000); got.Page.Shift != addr.BlockShift {
+		t.Fatalf("past end should be small: %+v", got.Page)
+	}
+	// Outside any region.
+	if got := p.Assign(0x50000); got.Page.Shift != addr.BlockShift {
+		t.Fatalf("outside assign: %+v", got.Page)
+	}
+	// Single-byte region covers its whole chunk.
+	if got := p.Assign(0x107FFF); got.Page.Shift != addr.ChunkShift {
+		t.Fatalf("tiny region: %+v", got.Page)
+	}
+	st := p.Stats()
+	if st.Refs != 5 || st.LargeRefs != 3 || st.SmallRefs != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if p.Name() != "4KB/32KB static" {
+		t.Fatalf("name: %q", p.Name())
+	}
+}
+
+func TestRegionMergesOverlaps(t *testing.T) {
+	p, err := NewRegion(RegionConfig{LargeRegions: []Range{
+		{Start: 0x40000, End: 0x50000},
+		{Start: 0x48000, End: 0x60000}, // overlaps previous
+		{Start: 0x00000, End: 0x08000},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, va := range []addr.VA{0x0, 0x40000, 0x4C000, 0x5FFFF} {
+		if got := p.Assign(va); got.Page.Shift != addr.ChunkShift {
+			t.Fatalf("va %#x should be large", uint64(va))
+		}
+	}
+	if got := p.Assign(0x60000); got.Page.Shift != addr.BlockShift {
+		t.Fatal("past merged end should be small")
+	}
+}
+
+func TestRegionValidation(t *testing.T) {
+	if _, err := NewRegion(RegionConfig{LargeRegions: []Range{{Start: 5, End: 5}}}); err == nil {
+		t.Fatal("empty range should fail")
+	}
+	// No regions at all: everything small.
+	p, err := NewRegion(RegionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Assign(0x1234); got.Page.Shift != addr.BlockShift {
+		t.Fatal("regionless policy should be all-small")
+	}
+}
+
+func TestCumulativePromotesOnceForever(t *testing.T) {
+	p := NewCumulative(CumulativeConfig{Threshold: 4})
+	// Touch 4 distinct blocks of chunk 0, spread over "time" with heavy
+	// interleaved traffic elsewhere — no window, so it still promotes.
+	for i := 0; i < 3; i++ {
+		res := p.Assign(addr.VA(i * addr.BlockSize))
+		if res.Event != EventNone {
+			t.Fatalf("premature event: %+v", res)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		p.Assign(addr.VA(50<<addr.ChunkShift) + addr.VA(i%3*addr.BlockSize))
+	}
+	res := p.Assign(addr.VA(3 * addr.BlockSize))
+	if res.Event != EventPromote || res.Chunk != 0 {
+		t.Fatalf("expected promotion: %+v", res)
+	}
+	if !p.IsLarge(0) {
+		t.Fatal("chunk 0 should be large")
+	}
+	// Never demotes, no matter what happens afterwards.
+	for i := 0; i < 1000; i++ {
+		p.Assign(addr.VA(60 << addr.ChunkShift))
+	}
+	if got := p.Assign(0); got.Page.Shift != addr.ChunkShift || got.Event != EventNone {
+		t.Fatalf("cumulative policy must never demote: %+v", got)
+	}
+	st := p.Stats()
+	if st.Promotions != 1 || st.Demotions != 0 || st.LargeChunks != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.LargeRefs+st.SmallRefs != st.Refs {
+		t.Fatalf("accounting: %+v", st)
+	}
+}
+
+func TestCumulativeRepeatedBlockDoesNotCount(t *testing.T) {
+	p := NewCumulative(CumulativeConfig{Threshold: 2})
+	for i := 0; i < 10; i++ {
+		if res := p.Assign(0x100); res.Event != EventNone {
+			t.Fatal("same block repeatedly must not promote")
+		}
+	}
+	if res := p.Assign(0x100 + addr.BlockSize); res.Event != EventPromote {
+		t.Fatal("second distinct block should promote at threshold 2")
+	}
+}
+
+func TestCumulativeValidation(t *testing.T) {
+	for _, thr := range []int{0, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("threshold %d should panic", thr)
+				}
+			}()
+			NewCumulative(CumulativeConfig{Threshold: thr})
+		}()
+	}
+	if NewCumulative(CumulativeConfig{Threshold: 4}).Name() != "4KB/32KB cumulative" {
+		t.Fatal("name")
+	}
+}

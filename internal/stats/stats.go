@@ -1,0 +1,152 @@
+// Package stats provides the small statistical tools the trace analyzer
+// and experiment harness share: streaming summaries and logarithmic
+// histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// Summary accumulates streaming moments of a series.
+type Summary struct {
+	n        uint64
+	sum      float64
+	sumsq    float64
+	min, max float64
+}
+
+// Add observes one value.
+func (s *Summary) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumsq += v * v
+}
+
+// N returns the number of observations.
+func (s *Summary) N() uint64 { return s.n }
+
+// Mean returns the arithmetic mean (0 if empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Std returns the population standard deviation (0 if empty).
+func (s *Summary) Std() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumsq/float64(s.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest observation (0 if empty).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 if empty).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// String renders "n=... mean=... std=... min=... max=...".
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.0f max=%.0f",
+		s.n, s.Mean(), s.Std(), s.Min(), s.Max())
+}
+
+// LogHist is a power-of-two histogram of non-negative integers: bucket
+// i counts values v with 2^i <= v < 2^(i+1); bucket 0 also counts 0 and 1.
+type LogHist struct {
+	buckets [64]uint64
+	n       uint64
+}
+
+// Add observes one value.
+func (h *LogHist) Add(v uint64) {
+	h.n++
+	if v <= 1 {
+		h.buckets[0]++
+		return
+	}
+	h.buckets[bits.Len64(v)-1]++
+}
+
+// N returns the number of observations.
+func (h *LogHist) N() uint64 { return h.n }
+
+// Bucket is one histogram bin.
+type Bucket struct {
+	Lo, Hi uint64 // value range [Lo, Hi)
+	Count  uint64
+}
+
+// Buckets returns the non-empty bins in ascending order.
+func (h *LogHist) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo := uint64(0)
+		if i > 0 {
+			lo = 1 << uint(i)
+		}
+		out = append(out, Bucket{Lo: lo, Hi: 1 << uint(i+1), Count: c})
+	}
+	return out
+}
+
+// FractionBelow returns the fraction of observations strictly below
+// limit, computed at bucket granularity (buckets fully below count
+// entirely; the straddling bucket counts proportionally to its overlap,
+// a standard histogram approximation).
+func (h *LogHist) FractionBelow(limit uint64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	var below float64
+	for _, b := range h.Buckets() {
+		switch {
+		case b.Hi <= limit:
+			below += float64(b.Count)
+		case b.Lo < limit:
+			below += float64(b.Count) * float64(limit-b.Lo) / float64(b.Hi-b.Lo)
+		}
+	}
+	return below / float64(h.n)
+}
+
+// String renders the non-empty bins as "[lo,hi):count ...".
+func (h *LogHist) String() string {
+	var parts []string
+	for _, b := range h.Buckets() {
+		parts = append(parts, fmt.Sprintf("[%d,%d):%d", b.Lo, b.Hi, b.Count))
+	}
+	if len(parts) == 0 {
+		return "(empty)"
+	}
+	return strings.Join(parts, " ")
+}

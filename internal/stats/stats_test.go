@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 || s.N() != 0 {
+		t.Fatal("empty summary should be all zeros")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if math.Abs(s.Std()-2) > 1e-12 {
+		t.Fatalf("std = %v, want 2", s.Std())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if !strings.Contains(s.String(), "mean=5.00") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+// Property: mean lies within [min, max] and std is non-negative.
+func TestSummaryProperties(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Summary
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9 && s.Std() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogHistBuckets(t *testing.T) {
+	var h LogHist
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 8, 1024} {
+		h.Add(v)
+	}
+	if h.N() != 8 {
+		t.Fatalf("n = %d", h.N())
+	}
+	got := map[uint64]uint64{}
+	for _, b := range h.Buckets() {
+		got[b.Lo] = b.Count
+	}
+	want := map[uint64]uint64{0: 2, 2: 2, 4: 2, 8: 1, 1024: 1}
+	for lo, c := range want {
+		if got[lo] != c {
+			t.Fatalf("bucket lo=%d count=%d, want %d (all: %v)", lo, got[lo], c, got)
+		}
+	}
+	if !strings.Contains(h.String(), "[1024,2048):1") {
+		t.Fatalf("String = %q", h.String())
+	}
+	var empty LogHist
+	if empty.String() != "(empty)" {
+		t.Fatal("empty histogram string")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	var h LogHist
+	for i := 0; i < 10; i++ {
+		h.Add(1) // bucket [0,2)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(1000) // bucket [512, 1024)
+	}
+	if got := h.FractionBelow(2); got != 0.5 {
+		t.Fatalf("FractionBelow(2) = %v", got)
+	}
+	if got := h.FractionBelow(1 << 20); got != 1.0 {
+		t.Fatalf("FractionBelow(1M) = %v", got)
+	}
+	if got := h.FractionBelow(1); math.Abs(got-0.25) > 1e-12 {
+		// Half of bucket [0,2) lies below 1 under the proportional rule.
+		t.Fatalf("FractionBelow(1) = %v", got)
+	}
+	var empty LogHist
+	if empty.FractionBelow(10) != 0 {
+		t.Fatal("empty fraction should be 0")
+	}
+}
+
+// Property: FractionBelow is monotone in the limit and within [0,1].
+func TestFractionBelowMonotone(t *testing.T) {
+	f := func(vals []uint16, limits []uint32) bool {
+		var h LogHist
+		for _, v := range vals {
+			h.Add(uint64(v))
+		}
+		prevLimit, prevFrac := uint64(0), 0.0
+		for _, l := range limits {
+			lim := uint64(l)
+			if lim < prevLimit {
+				lim, prevLimit = prevLimit, lim
+			}
+			fr := h.FractionBelow(lim)
+			if fr < 0 || fr > 1 {
+				return false
+			}
+			if lim >= prevLimit && fr+1e-9 < prevFrac {
+				return false
+			}
+			prevLimit, prevFrac = lim, fr
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

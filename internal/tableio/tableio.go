@@ -1,0 +1,142 @@
+// Package tableio renders the experiment results as aligned ASCII
+// tables (the form the paper's tables take) and as CSV for plotting.
+package tableio
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is an ordered collection of rows under fixed headers.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Row appends a row. Rows shorter than the header are padded; longer
+// rows panic (a bug in the caller).
+func (t *Table) Row(cells ...string) {
+	if len(cells) > len(t.headers) {
+		panic(fmt.Sprintf("tableio: row has %d cells for %d columns", len(cells), len(t.headers)))
+	}
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// Note appends a footnote line printed under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the rendered cell at (row, col), for tests.
+func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
+
+// WriteTo renders the table with aligned columns.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteString("\n")
+	for _, r := range t.rows {
+		line(r)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// CSV renders the table as comma-separated values (headers first).
+// Cells containing commas or quotes are quoted.
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := writeRow(t.headers); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// F formats a float with the given decimal places, rendering NaN and
+// ±Inf readably.
+func F(v float64, prec int) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	default:
+		return fmt.Sprintf("%.*f", prec, v)
+	}
+}
+
+// Pct formats a percentage with sign, e.g. "+700%", "-12%".
+func Pct(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%+.0f%%", v)
+}
+
+// Headers returns the column headers.
+func (t *Table) Headers() []string { return append([]string(nil), t.headers...) }

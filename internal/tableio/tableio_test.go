@@ -1,0 +1,83 @@
+package tableio
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteTo(t *testing.T) {
+	tb := New("My Table", "name", "value")
+	tb.Row("alpha", "1.00")
+	tb.Row("b", "22.50")
+	tb.Note("note %d", 1)
+	var sb strings.Builder
+	if _, err := tb.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"My Table", "name", "value", "alpha", "22.50", "note 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Data lines must align: "alpha" padded to width 5.
+	if !strings.HasPrefix(lines[3], "alpha  ") {
+		t.Errorf("row not aligned: %q", lines[3])
+	}
+	if tb.Rows() != 2 || tb.Cell(1, 0) != "b" {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestRowPadding(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.Row("x")
+	if tb.Cell(0, 2) != "" {
+		t.Error("short row should be padded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("over-long row should panic")
+		}
+	}()
+	tb.Row("1", "2", "3", "4")
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("t", "name", "note")
+	tb.Row("a,b", `say "hi"`)
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(1.234, 2) != "1.23" {
+		t.Error("F format")
+	}
+	if F(math.NaN(), 2) != "-" {
+		t.Error("NaN")
+	}
+	if F(math.Inf(1), 2) != "inf" || F(math.Inf(-1), 2) != "-inf" {
+		t.Error("Inf")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(700) != "+700%" {
+		t.Errorf("Pct(700) = %q", Pct(700))
+	}
+	if Pct(-12.4) != "-12%" {
+		t.Errorf("Pct(-12.4) = %q", Pct(-12.4))
+	}
+	if Pct(math.Inf(1)) != "inf" {
+		t.Error("Pct inf")
+	}
+}

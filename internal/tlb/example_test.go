@@ -1,0 +1,47 @@
+package tlb_test
+
+import (
+	"fmt"
+
+	"twopage/internal/addr"
+	"twopage/internal/policy"
+	"twopage/internal/tlb"
+)
+
+// ExampleSetAssoc reproduces the paper's Figure 2.1 thought experiment:
+// a direct-mapped 2-entry TLB indexed by the small page number smears
+// one 32KB page across both sets, because bit<12> belongs to the large
+// page's offset.
+func ExampleSetAssoc() {
+	t := tlb.MustNew(tlb.Config{Entries: 2, Ways: 1, Index: tlb.IndexSmall})
+	large := policy.Page{Number: 0, Shift: addr.Shift32K}
+
+	t.Access(0x0000, large) // offset 0: bit<12>=0 -> set 0
+	t.Access(0x1000, large) // offset 4KB: bit<12>=1 -> set 1 (a second copy!)
+	fmt.Printf("copies of one large page: %d\n", t.Invalidate(large))
+
+	exact := tlb.MustNew(tlb.Config{Entries: 2, Ways: 1, Index: tlb.IndexExact})
+	exact.Access(0x0000, large)
+	exact.Access(0x1000, large) // exact index uses bit<15>: same set, hit
+	fmt.Printf("exact-index misses: %d\n", exact.Stats().Misses())
+	// Output:
+	// copies of one large page: 2
+	// exact-index misses: 1
+}
+
+// ExampleStats_Reprobes shows the sequential exact-index cost model of
+// Section 2.2 option (b): large-page hits and all misses need a second
+// probe.
+func ExampleStats_Reprobes() {
+	t := tlb.NewFullyAssoc(4)
+	small := policy.Page{Number: 1, Shift: addr.Shift4K}
+	large := policy.Page{Number: 1, Shift: addr.Shift32K}
+	t.Access(0x1000, small) // small miss (reprobe)
+	t.Access(0x1000, small) // small hit (single probe)
+	t.Access(0x8000, large) // large miss (reprobe)
+	t.Access(0x8000, large) // large hit (reprobe)
+	fmt.Printf("accesses needing a second probe: %d of %d\n",
+		t.Stats().Reprobes(), t.Stats().Accesses)
+	// Output:
+	// accesses needing a second probe: 3 of 4
+}

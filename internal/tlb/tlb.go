@@ -1,0 +1,542 @@
+// Package tlb models translation lookaside buffers that support one or
+// two page sizes, reproducing the design space of Section 2 of the paper.
+//
+// A fully associative TLB (Section 2.1) stores the page size in each tag
+// and needs a comparator per entry; it is the straightforward but
+// expensive design. Set-associative TLBs (Section 2.2) must choose which
+// address bits select the set:
+//
+//   - IndexSmall: the least significant bits of the *small* page number.
+//     Broken for large pages: bits <14:12> are part of a 32KB page's
+//     offset, so one large page lands in many sets (Figure 2.1).
+//   - IndexLarge: the least significant bits of the *large* page number.
+//     Works for large pages but makes eight consecutive small pages
+//     compete for one set; severe if the OS allocates no large pages.
+//   - IndexExact: index with the page's own page-number bits. Requires
+//     either parallel probes, a sequential reprobe, or split TLBs; the
+//     contents (and therefore hit/miss behaviour) are the same for the
+//     first two, differing only in hit cost, which Stats exposes as
+//     Reprobes for the sequential variant.
+//
+// SplitTLB models option (c) of Section 2.2: separate TLBs per page
+// size, both probed in parallel with their own index.
+//
+// All models count hits/misses per page size and support the entry
+// invalidation that page promotion/demotion requires.
+package tlb
+
+import (
+	"fmt"
+
+	"twopage/internal/addr"
+	"twopage/internal/policy"
+)
+
+// IndexScheme selects which address bits index a set-associative TLB
+// (Section 2.2 of the paper).
+type IndexScheme uint8
+
+// Index schemes.
+const (
+	IndexSmall IndexScheme = iota // small-page-number bits (broken for large pages)
+	IndexLarge                    // large-page-number bits
+	IndexExact                    // the accessed page's own page-number bits
+)
+
+// String names the scheme as in the paper's Table 5.1.
+func (s IndexScheme) String() string {
+	switch s {
+	case IndexSmall:
+		return "small index"
+	case IndexLarge:
+		return "large index"
+	case IndexExact:
+		return "exact index"
+	default:
+		return fmt.Sprintf("IndexScheme(%d)", uint8(s))
+	}
+}
+
+// Replacement selects the per-set replacement policy.
+type Replacement uint8
+
+// Replacement policies.
+const (
+	LRU    Replacement = iota // least recently used (paper's assumption)
+	FIFO                      // first in, first out
+	Random                    // uniform random victim
+)
+
+// String names the replacement policy.
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Replacement(%d)", uint8(r))
+	}
+}
+
+// Stats are TLB access counters. Hits and misses are broken down by the
+// page size of the access so CPI accounting can weigh them.
+type Stats struct {
+	Accesses      uint64 // total lookups
+	SmallHits     uint64 // hits on small (4KB..) pages
+	LargeHits     uint64 // hits on large (32KB) pages
+	SmallMisses   uint64 // misses on small pages
+	LargeMisses   uint64 // misses on large pages
+	Invalidations uint64 // entries removed by Invalidate
+}
+
+// Hits returns total hits.
+func (s Stats) Hits() uint64 { return s.SmallHits + s.LargeHits }
+
+// Misses returns total misses.
+func (s Stats) Misses() uint64 { return s.SmallMisses + s.LargeMisses }
+
+// MissRatio returns misses/accesses, or 0 for an untouched TLB.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses()) / float64(s.Accesses)
+}
+
+// Reprobes returns how many lookups would need a second probe under the
+// sequential-access variant of exact indexing (Section 2.2, option (b)):
+// the TLB is probed with the small page number first, so every large-page
+// hit and every miss costs a second probe.
+func (s Stats) Reprobes() uint64 { return s.LargeHits + s.Misses() }
+
+// TLB is the interface shared by all TLB models. Access takes both the
+// full virtual address (set selection may use offset bits below the large
+// page number) and the page the OS policy resolved the address to.
+type TLB interface {
+	// Access looks up the page; on a miss the translation is installed
+	// (possibly evicting a victim). Returns true on hit.
+	Access(va addr.VA, p policy.Page) bool
+	// Invalidate removes all copies of the page, returning how many
+	// entries were dropped. Page promotion invalidates the chunk's small
+	// pages; demotion invalidates the large page.
+	Invalidate(p policy.Page) int
+	// Flush empties the TLB (context switch).
+	Flush()
+	// Stats returns a snapshot of the counters.
+	Stats() Stats
+	// Entries returns the total entry count.
+	Entries() int
+	// Name describes the organization, e.g. "16-entry 2-way (exact index)".
+	Name() string
+}
+
+type entry struct {
+	pn       addr.PN
+	shift    uint16
+	valid    bool
+	lastUse  uint64 // LRU timestamp
+	loadedAt uint64 // FIFO timestamp
+}
+
+// Config describes a set-associative (or, with Ways == Entries, fully
+// associative) TLB.
+type Config struct {
+	// Entries is the total number of translation entries. Must be a
+	// positive multiple of Ways.
+	Entries int
+	// Ways is the set associativity; Ways == Entries (or 0, treated the
+	// same) is fully associative.
+	Ways int
+	// Index selects the set-index bits; irrelevant for fully associative.
+	Index IndexScheme
+	// Repl is the replacement policy within a set. Defaults to LRU.
+	Repl Replacement
+	// SmallShift and LargeShift are the two page shifts the indexing
+	// hardware is wired for. Zero values default to 4KB and 32KB.
+	SmallShift uint
+	LargeShift uint
+	// Seed seeds the Random replacement generator.
+	Seed uint64
+}
+
+func (c *Config) normalize() error {
+	if c.Entries <= 0 {
+		return fmt.Errorf("tlb: entries must be positive, got %d", c.Entries)
+	}
+	if c.Ways == 0 {
+		c.Ways = c.Entries
+	}
+	if c.Ways < 0 || c.Entries%c.Ways != 0 {
+		return fmt.Errorf("tlb: %d entries not divisible into %d ways", c.Entries, c.Ways)
+	}
+	sets := c.Entries / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("tlb: set count %d is not a power of two", sets)
+	}
+	if c.SmallShift == 0 {
+		c.SmallShift = addr.Shift4K
+	}
+	if c.LargeShift == 0 {
+		c.LargeShift = addr.Shift32K
+	}
+	if c.SmallShift >= c.LargeShift {
+		return fmt.Errorf("tlb: small shift %d must be below large shift %d",
+			c.SmallShift, c.LargeShift)
+	}
+	return nil
+}
+
+// SetAssoc is a set-associative TLB (fully associative when Ways ==
+// Entries). It implements TLB.
+type SetAssoc struct {
+	cfg      Config
+	sets     int
+	setBits  uint
+	entries  []entry // sets × ways
+	clock    uint64
+	rng      uint64
+	stats    Stats
+	occupied int
+}
+
+// New constructs a TLB from cfg. It returns an error for invalid
+// geometries (non-power-of-two set counts, entries not divisible by
+// ways, inverted shifts).
+func New(cfg Config) (*SetAssoc, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	sets := cfg.Entries / cfg.Ways
+	setBits := uint(0)
+	for v := sets; v > 1; v >>= 1 {
+		setBits++
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &SetAssoc{
+		cfg:     cfg,
+		sets:    sets,
+		setBits: setBits,
+		entries: make([]entry, cfg.Entries),
+		rng:     seed,
+	}, nil
+}
+
+// MustNew is New, panicking on error; for tests and tables of known-good
+// configurations.
+func MustNew(cfg Config) *SetAssoc {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NewFullyAssoc returns a fully associative TLB with LRU replacement,
+// the organization of Section 2.1 and Figure 5.1.
+func NewFullyAssoc(entries int) *SetAssoc {
+	return MustNew(Config{Entries: entries, Ways: entries})
+}
+
+// Config returns the (normalized) configuration.
+func (t *SetAssoc) Config() Config { return t.cfg }
+
+// Sets returns the number of sets.
+func (t *SetAssoc) Sets() int { return t.sets }
+
+// Entries implements TLB.
+func (t *SetAssoc) Entries() int { return t.cfg.Entries }
+
+// FullyAssociative reports whether the TLB is one set.
+func (t *SetAssoc) FullyAssociative() bool { return t.sets == 1 }
+
+// Name implements TLB.
+func (t *SetAssoc) Name() string {
+	if t.FullyAssociative() {
+		return fmt.Sprintf("%d-entry fully associative", t.cfg.Entries)
+	}
+	return fmt.Sprintf("%d-entry %d-way (%s)", t.cfg.Entries, t.cfg.Ways, t.cfg.Index)
+}
+
+// index computes the set index for an access (va, p) under the
+// configured scheme.
+func (t *SetAssoc) index(va addr.VA, p policy.Page) uint64 {
+	if t.sets == 1 {
+		return 0
+	}
+	switch t.cfg.Index {
+	case IndexSmall:
+		return addr.Index(va, t.cfg.SmallShift, t.setBits)
+	case IndexLarge:
+		return addr.Index(va, t.cfg.LargeShift, t.setBits)
+	default: // IndexExact
+		return addr.Index(va, uint(p.Shift), t.setBits)
+	}
+}
+
+func (t *SetAssoc) xorshift() uint64 {
+	t.rng ^= t.rng << 13
+	t.rng ^= t.rng >> 7
+	t.rng ^= t.rng << 17
+	return t.rng
+}
+
+// Access implements TLB.
+func (t *SetAssoc) Access(va addr.VA, p policy.Page) bool {
+	t.clock++
+	t.stats.Accesses++
+	large := uint(p.Shift) >= t.cfg.LargeShift
+	idx := t.index(va, p)
+	base := int(idx) * t.cfg.Ways
+	set := t.entries[base : base+t.cfg.Ways]
+	victim := -1
+	for i := range set {
+		e := &set[i]
+		if !e.valid {
+			if victim < 0 {
+				victim = i
+			}
+			continue
+		}
+		if e.pn == p.Number && uint(e.shift) == p.Shift {
+			e.lastUse = t.clock
+			if large {
+				t.stats.LargeHits++
+			} else {
+				t.stats.SmallHits++
+			}
+			return true
+		}
+	}
+	if large {
+		t.stats.LargeMisses++
+	} else {
+		t.stats.SmallMisses++
+	}
+	if victim < 0 {
+		victim = t.pickVictim(set)
+	} else {
+		t.occupied++
+	}
+	set[victim] = entry{
+		pn:       p.Number,
+		shift:    uint16(p.Shift),
+		valid:    true,
+		lastUse:  t.clock,
+		loadedAt: t.clock,
+	}
+	return false
+}
+
+func (t *SetAssoc) pickVictim(set []entry) int {
+	switch t.cfg.Repl {
+	case FIFO:
+		v, oldest := 0, set[0].loadedAt
+		for i := 1; i < len(set); i++ {
+			if set[i].loadedAt < oldest {
+				v, oldest = i, set[i].loadedAt
+			}
+		}
+		return v
+	case Random:
+		return int(t.xorshift() % uint64(len(set)))
+	default: // LRU
+		v, oldest := 0, set[0].lastUse
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < oldest {
+				v, oldest = i, set[i].lastUse
+			}
+		}
+		return v
+	}
+}
+
+// Invalidate implements TLB. Because IndexSmall can replicate one large
+// page across several sets, invalidation scans the whole array; TLBs are
+// tiny (tens of entries) and invalidations are rare (page promotions), so
+// this costs nothing measurable.
+func (t *SetAssoc) Invalidate(p policy.Page) int {
+	n := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.pn == p.Number && uint(e.shift) == p.Shift {
+			e.valid = false
+			n++
+		}
+	}
+	t.stats.Invalidations += uint64(n)
+	t.occupied -= n
+	return n
+}
+
+// Flush implements TLB.
+func (t *SetAssoc) Flush() {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+	t.occupied = 0
+}
+
+// Stats implements TLB.
+func (t *SetAssoc) Stats() Stats { return t.stats }
+
+// Occupied returns the number of valid entries; useful to observe
+// underutilization (e.g. split TLBs with skewed page-size mixes).
+func (t *SetAssoc) Occupied() int { return t.occupied }
+
+// Contains reports whether the page currently has a valid entry, without
+// disturbing replacement state. For tests and inspection.
+func (t *SetAssoc) Contains(p policy.Page) bool {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.pn == p.Number && uint(e.shift) == p.Shift {
+			return true
+		}
+	}
+	return false
+}
+
+// SplitTLB models option (c) of Section 2.2: a separate TLB per page
+// size, accessed in parallel with different page numbers. Accesses to
+// small pages go to the small TLB, large pages to the large TLB; if the
+// workload's pages are not appropriately distributed, one side sits
+// unused — the disadvantage the paper notes.
+type SplitTLB struct {
+	small, large *SetAssoc
+	largeShift   uint
+}
+
+// NewSplit builds a split TLB. Both halves are built from their own
+// configs; the large half's Index is forced to IndexExact semantics by
+// construction (it only ever sees large pages, so IndexLarge and
+// IndexExact coincide; we set IndexLarge) and likewise the small half
+// uses IndexSmall.
+func NewSplit(smallCfg, largeCfg Config) (*SplitTLB, error) {
+	smallCfg.Index = IndexSmall
+	largeCfg.Index = IndexLarge
+	s, err := New(smallCfg)
+	if err != nil {
+		return nil, fmt.Errorf("small half: %w", err)
+	}
+	l, err := New(largeCfg)
+	if err != nil {
+		return nil, fmt.Errorf("large half: %w", err)
+	}
+	return &SplitTLB{small: s, large: l, largeShift: l.cfg.LargeShift}, nil
+}
+
+// Access implements TLB.
+func (t *SplitTLB) Access(va addr.VA, p policy.Page) bool {
+	if uint(p.Shift) >= t.largeShift {
+		return t.large.Access(va, p)
+	}
+	return t.small.Access(va, p)
+}
+
+// Invalidate implements TLB.
+func (t *SplitTLB) Invalidate(p policy.Page) int {
+	if uint(p.Shift) >= t.largeShift {
+		return t.large.Invalidate(p)
+	}
+	return t.small.Invalidate(p)
+}
+
+// Flush implements TLB.
+func (t *SplitTLB) Flush() {
+	t.small.Flush()
+	t.large.Flush()
+}
+
+// Stats implements TLB, merging both halves.
+func (t *SplitTLB) Stats() Stats {
+	a, b := t.small.Stats(), t.large.Stats()
+	return Stats{
+		Accesses:      a.Accesses + b.Accesses,
+		SmallHits:     a.SmallHits + b.SmallHits,
+		LargeHits:     a.LargeHits + b.LargeHits,
+		SmallMisses:   a.SmallMisses + b.SmallMisses,
+		LargeMisses:   a.LargeMisses + b.LargeMisses,
+		Invalidations: a.Invalidations + b.Invalidations,
+	}
+}
+
+// Entries implements TLB.
+func (t *SplitTLB) Entries() int { return t.small.Entries() + t.large.Entries() }
+
+// Name implements TLB.
+func (t *SplitTLB) Name() string {
+	return fmt.Sprintf("split %d+%d-entry", t.small.Entries(), t.large.Entries())
+}
+
+// Halves returns the small and large sub-TLBs for inspection.
+func (t *SplitTLB) Halves() (small, large *SetAssoc) { return t.small, t.large }
+
+// Compile-time interface checks.
+var (
+	_ TLB = (*SetAssoc)(nil)
+	_ TLB = (*SplitTLB)(nil)
+)
+
+// Probe looks the page up and refreshes its replacement state on a hit,
+// but does not install anything on a miss and does not touch Stats.
+// It is the building block wrappers (victim buffers, prefetchers) use
+// to compose TLBs while keeping their own accounting.
+func (t *SetAssoc) Probe(va addr.VA, p policy.Page) bool {
+	idx := t.index(va, p)
+	base := int(idx) * t.cfg.Ways
+	set := t.entries[base : base+t.cfg.Ways]
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.pn == p.Number && uint(e.shift) == p.Shift {
+			t.clock++
+			e.lastUse = t.clock
+			return true
+		}
+	}
+	return false
+}
+
+// Insert installs the page (evicting if the set is full), returning the
+// evicted page if a valid entry was displaced. Like Probe it does not
+// touch Stats. The inserted entry's set placement follows the same
+// index scheme as Access.
+func (t *SetAssoc) Insert(va addr.VA, p policy.Page) (evicted policy.Page, hadEvict bool) {
+	t.clock++
+	idx := t.index(va, p)
+	base := int(idx) * t.cfg.Ways
+	set := t.entries[base : base+t.cfg.Ways]
+	victim := -1
+	for i := range set {
+		e := &set[i]
+		if !e.valid {
+			if victim < 0 {
+				victim = i
+			}
+			continue
+		}
+		if e.pn == p.Number && uint(e.shift) == p.Shift {
+			e.lastUse = t.clock
+			return policy.Page{}, false // already present
+		}
+	}
+	if victim < 0 {
+		victim = t.pickVictim(set)
+		evicted = policy.Page{Number: set[victim].pn, Shift: uint(set[victim].shift)}
+		hadEvict = true
+	} else {
+		t.occupied++
+	}
+	set[victim] = entry{
+		pn:       p.Number,
+		shift:    uint16(p.Shift),
+		valid:    true,
+		lastUse:  t.clock,
+		loadedAt: t.clock,
+	}
+	return evicted, hadEvict
+}

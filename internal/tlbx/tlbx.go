@@ -1,0 +1,273 @@
+// Package tlbx provides TLB organizations beyond the paper's design
+// space, targeting the pathologies its evaluation exposes:
+//
+//   - Victim: a small fully associative victim buffer behind a
+//     set-associative TLB (after Jouppi, ISCA 1990). The paper's
+//     set-associative results suffer exactly the conflict misses a
+//     victim buffer absorbs — tomcatv's seven arrays colliding in one
+//     large-page-index set being the extreme case — and its conclusion
+//     warns against page sizes "that require the use of a fully
+//     associative TLB"; a victim buffer is the classic middle ground.
+//
+//   - Prefetch: next-page translation prefetching on a miss. Sequential
+//     scans (matrix rows, x11perf copies) take one compulsory-style miss
+//     per page; prefetching the successor translation converts most of
+//     them into hits at the cost of possible pollution.
+//
+// Both wrappers implement tlb.TLB and keep their own statistics, so the
+// experiment harness can drop them into any configuration.
+package tlbx
+
+import (
+	"fmt"
+
+	"twopage/internal/addr"
+	"twopage/internal/policy"
+	"twopage/internal/tlb"
+)
+
+// Victim is a set-associative TLB backed by a small fully associative
+// victim buffer. Main-TLB evictions land in the buffer; a main miss
+// that hits the buffer swaps the entry back, costing far less than a
+// full software miss.
+type Victim struct {
+	main  *tlb.SetAssoc
+	buf   *tlb.SetAssoc
+	stats tlb.Stats
+	// VictimHits counts main-TLB misses satisfied by the buffer; they
+	// are counted as hits in Stats (the swap is a hardware action, not
+	// a software miss).
+	VictimHits uint64
+}
+
+// NewVictim wraps a main TLB configuration with a fully associative
+// victim buffer of bufEntries entries.
+func NewVictim(mainCfg tlb.Config, bufEntries int) (*Victim, error) {
+	main, err := tlb.New(mainCfg)
+	if err != nil {
+		return nil, fmt.Errorf("victim main: %w", err)
+	}
+	buf, err := tlb.New(tlb.Config{Entries: bufEntries, Ways: bufEntries})
+	if err != nil {
+		return nil, fmt.Errorf("victim buffer: %w", err)
+	}
+	return &Victim{main: main, buf: buf}, nil
+}
+
+// Access implements tlb.TLB.
+func (v *Victim) Access(va addr.VA, p policy.Page) bool {
+	v.stats.Accesses++
+	large := uint(p.Shift) >= addr.ChunkShift
+	if v.main.Probe(va, p) {
+		v.count(large, true)
+		return true
+	}
+	// Main miss: consult the victim buffer.
+	bufHit := v.buf.Probe(va, p)
+	if bufHit {
+		v.buf.Invalidate(p) // entry moves back to the main TLB
+		v.VictimHits++
+	}
+	if evicted, had := v.main.Insert(va, p); had {
+		// The displaced main entry retires into the victim buffer.
+		v.buf.Insert(evicted.Base(), evicted)
+	}
+	v.count(large, bufHit)
+	return bufHit
+}
+
+func (v *Victim) count(large, hit bool) {
+	switch {
+	case large && hit:
+		v.stats.LargeHits++
+	case large:
+		v.stats.LargeMisses++
+	case hit:
+		v.stats.SmallHits++
+	default:
+		v.stats.SmallMisses++
+	}
+}
+
+// Invalidate implements tlb.TLB.
+func (v *Victim) Invalidate(p policy.Page) int {
+	n := v.main.Invalidate(p) + v.buf.Invalidate(p)
+	v.stats.Invalidations += uint64(n)
+	return n
+}
+
+// Flush implements tlb.TLB.
+func (v *Victim) Flush() {
+	v.main.Flush()
+	v.buf.Flush()
+}
+
+// Stats implements tlb.TLB.
+func (v *Victim) Stats() tlb.Stats { return v.stats }
+
+// Entries implements tlb.TLB.
+func (v *Victim) Entries() int { return v.main.Entries() + v.buf.Entries() }
+
+// Name implements tlb.TLB.
+func (v *Victim) Name() string {
+	return fmt.Sprintf("%s + %d-entry victim", v.main.Name(), v.buf.Entries())
+}
+
+// Halves exposes the main TLB and victim buffer for inspection.
+func (v *Victim) Halves() (main, buf *tlb.SetAssoc) { return v.main, v.buf }
+
+// Prefetch wraps a TLB with next-page translation prefetching: on a
+// demand miss to page p, the translation for page p+1 (same size) is
+// installed as well. Real systems can do this because the miss handler
+// already has the page table cache-hot; we charge nothing extra, making
+// the experiment an upper bound on the benefit.
+type Prefetch struct {
+	inner *tlb.SetAssoc
+	stats tlb.Stats
+	// Prefetches counts speculative insertions.
+	Prefetches uint64
+}
+
+// NewPrefetch wraps the configuration with next-page prefetching.
+func NewPrefetch(cfg tlb.Config) (*Prefetch, error) {
+	inner, err := tlb.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Prefetch{inner: inner}, nil
+}
+
+// Access implements tlb.TLB.
+func (p *Prefetch) Access(va addr.VA, pg policy.Page) bool {
+	p.stats.Accesses++
+	large := uint(pg.Shift) >= addr.ChunkShift
+	hit := p.inner.Probe(va, pg)
+	if !hit {
+		p.inner.Insert(va, pg)
+		next := policy.Page{Number: pg.Number + 1, Shift: pg.Shift}
+		p.inner.Insert(next.Base(), next)
+		p.Prefetches++
+	}
+	switch {
+	case large && hit:
+		p.stats.LargeHits++
+	case large:
+		p.stats.LargeMisses++
+	case hit:
+		p.stats.SmallHits++
+	default:
+		p.stats.SmallMisses++
+	}
+	return hit
+}
+
+// Invalidate implements tlb.TLB.
+func (p *Prefetch) Invalidate(pg policy.Page) int {
+	n := p.inner.Invalidate(pg)
+	p.stats.Invalidations += uint64(n)
+	return n
+}
+
+// Flush implements tlb.TLB.
+func (p *Prefetch) Flush() { p.inner.Flush() }
+
+// Stats implements tlb.TLB.
+func (p *Prefetch) Stats() tlb.Stats { return p.stats }
+
+// Entries implements tlb.TLB.
+func (p *Prefetch) Entries() int { return p.inner.Entries() }
+
+// Name implements tlb.TLB.
+func (p *Prefetch) Name() string {
+	return p.inner.Name() + " + next-page prefetch"
+}
+
+// Compile-time interface checks.
+var (
+	_ tlb.TLB = (*Victim)(nil)
+	_ tlb.TLB = (*Prefetch)(nil)
+)
+
+// TwoLevel stacks a small, fast L1 TLB in front of a larger L2 TLB:
+// the design that later became standard when physically tagged caches
+// capped L1 TLB sizes (the paper's Section 1 tension). L1 misses that
+// hit the L2 refill the L1 in hardware; only double misses invoke the
+// software handler. Contents are managed inclusively: entries are
+// installed in both levels, and invalidations hit both.
+type TwoLevel struct {
+	l1, l2 *tlb.SetAssoc
+	stats  tlb.Stats
+	// L2Hits counts L1 misses satisfied by the L2 (hardware refills).
+	L2Hits uint64
+}
+
+// NewTwoLevel builds the hierarchy from the two level configurations.
+func NewTwoLevel(l1Cfg, l2Cfg tlb.Config) (*TwoLevel, error) {
+	l1, err := tlb.New(l1Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("L1: %w", err)
+	}
+	l2, err := tlb.New(l2Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("L2: %w", err)
+	}
+	return &TwoLevel{l1: l1, l2: l2}, nil
+}
+
+// Access implements tlb.TLB. A hit means either level held the
+// translation; only a double miss counts as a (software-visible) miss.
+func (t *TwoLevel) Access(va addr.VA, p policy.Page) bool {
+	t.stats.Accesses++
+	large := uint(p.Shift) >= addr.ChunkShift
+	hit := t.l1.Probe(va, p)
+	if !hit {
+		if t.l2.Probe(va, p) {
+			t.L2Hits++
+			hit = true
+			t.l1.Insert(va, p) // hardware refill
+		} else {
+			t.l1.Insert(va, p)
+			t.l2.Insert(va, p)
+		}
+	}
+	switch {
+	case large && hit:
+		t.stats.LargeHits++
+	case large:
+		t.stats.LargeMisses++
+	case hit:
+		t.stats.SmallHits++
+	default:
+		t.stats.SmallMisses++
+	}
+	return hit
+}
+
+// Invalidate implements tlb.TLB.
+func (t *TwoLevel) Invalidate(p policy.Page) int {
+	n := t.l1.Invalidate(p) + t.l2.Invalidate(p)
+	t.stats.Invalidations += uint64(n)
+	return n
+}
+
+// Flush implements tlb.TLB.
+func (t *TwoLevel) Flush() {
+	t.l1.Flush()
+	t.l2.Flush()
+}
+
+// Stats implements tlb.TLB.
+func (t *TwoLevel) Stats() tlb.Stats { return t.stats }
+
+// Entries implements tlb.TLB.
+func (t *TwoLevel) Entries() int { return t.l1.Entries() + t.l2.Entries() }
+
+// Name implements tlb.TLB.
+func (t *TwoLevel) Name() string {
+	return fmt.Sprintf("%d-entry L1 + %d-entry L2 TLB", t.l1.Entries(), t.l2.Entries())
+}
+
+// Levels exposes the two levels for inspection.
+func (t *TwoLevel) Levels() (l1, l2 *tlb.SetAssoc) { return t.l1, t.l2 }
+
+var _ tlb.TLB = (*TwoLevel)(nil)

@@ -1,0 +1,279 @@
+package tlbx
+
+import (
+	"testing"
+
+	"twopage/internal/addr"
+	"twopage/internal/core"
+	"twopage/internal/policy"
+	"twopage/internal/tlb"
+	"twopage/internal/workload"
+)
+
+func smallPage(va addr.VA) policy.Page {
+	return policy.Page{Number: addr.Page(va, addr.Shift4K), Shift: addr.Shift4K}
+}
+
+func TestVictimValidation(t *testing.T) {
+	if _, err := NewVictim(tlb.Config{Entries: 0}, 4); err == nil {
+		t.Fatal("bad main config should fail")
+	}
+	if _, err := NewVictim(tlb.Config{Entries: 4, Ways: 2}, 0); err == nil {
+		t.Fatal("bad buffer size should fail")
+	}
+}
+
+// Three pages cycling through a 2-entry direct set thrash without a
+// victim buffer; with one, the displaced entry is recovered cheaply.
+func TestVictimAbsorbsConflictMisses(t *testing.T) {
+	plain := tlb.MustNew(tlb.Config{Entries: 2, Ways: 2})
+	vict, err := NewVictim(tlb.Config{Entries: 2, Ways: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := []addr.VA{0x1000, 0x2000, 0x3000}
+	for round := 0; round < 20; round++ {
+		for _, va := range pages {
+			plain.Access(va, smallPage(va))
+			vict.Access(va, smallPage(va))
+		}
+	}
+	pm := plain.Stats().Misses()
+	vm := vict.Stats().Misses()
+	if pm != 60 {
+		t.Fatalf("plain TLB should thrash: %d misses", pm)
+	}
+	// With a 2-entry victim buffer, the 3-page loop fits in 4 entries:
+	// only cold misses remain.
+	if vm != 3 {
+		t.Fatalf("victim TLB misses = %d, want 3 cold", vm)
+	}
+	if vict.VictimHits == 0 {
+		t.Fatal("victim hits not counted")
+	}
+	st := vict.Stats()
+	if st.Accesses != 60 || st.Hits()+st.Misses() != st.Accesses {
+		t.Fatalf("stats accounting: %+v", st)
+	}
+}
+
+func TestVictimInvalidateAndFlush(t *testing.T) {
+	v, err := NewVictim(tlb.Config{Entries: 2, Ways: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill main with a,b then displace a into the buffer with c.
+	a, b, c := addr.VA(0x1000), addr.VA(0x2000), addr.VA(0x3000)
+	v.Access(a, smallPage(a))
+	v.Access(b, smallPage(b))
+	v.Access(c, smallPage(c))
+	main, buf := v.Halves()
+	if buf.Occupied() != 1 {
+		t.Fatalf("buffer occupancy = %d", buf.Occupied())
+	}
+	// Invalidate the page that lives in the buffer.
+	var target policy.Page
+	for _, va := range []addr.VA{a, b} {
+		if !main.Contains(smallPage(va)) {
+			target = smallPage(va)
+		}
+	}
+	if n := v.Invalidate(target); n != 1 {
+		t.Fatalf("Invalidate = %d", n)
+	}
+	v.Flush()
+	if v.Access(a, smallPage(a)) {
+		t.Fatal("post-flush access must miss")
+	}
+	if v.Entries() != 4 {
+		t.Fatalf("entries = %d", v.Entries())
+	}
+	if v.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestPrefetchHalvesSequentialMisses(t *testing.T) {
+	plain := tlb.MustNew(tlb.Config{Entries: 16, Ways: 16})
+	pf, err := NewPrefetch(tlb.Config{Entries: 16, Ways: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 sequential pages, never revisited: all compulsory misses.
+	for i := 0; i < 64; i++ {
+		va := addr.VA(i << addr.Shift4K)
+		plain.Access(va, smallPage(va))
+		pf.Access(va, smallPage(va))
+	}
+	if got := plain.Stats().Misses(); got != 64 {
+		t.Fatalf("plain misses = %d", got)
+	}
+	if got := pf.Stats().Misses(); got != 32 {
+		t.Fatalf("prefetch misses = %d, want 32 (every other page)", got)
+	}
+	if pf.Prefetches != 32 {
+		t.Fatalf("prefetches = %d", pf.Prefetches)
+	}
+}
+
+func TestPrefetchValidation(t *testing.T) {
+	if _, err := NewPrefetch(tlb.Config{Entries: -1}); err == nil {
+		t.Fatal("bad config should fail")
+	}
+}
+
+func TestPrefetchInterfaceBasics(t *testing.T) {
+	pf, err := NewPrefetch(tlb.Config{Entries: 8, Ways: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := addr.VA(0x5000)
+	pf.Access(va, smallPage(va))
+	if n := pf.Invalidate(smallPage(va)); n != 1 {
+		t.Fatalf("Invalidate = %d", n)
+	}
+	pf.Flush()
+	if pf.Entries() != 8 || pf.Name() == "" {
+		t.Fatal("accessors")
+	}
+}
+
+// Both wrappers must behave as drop-in TLBs in a full two-page
+// simulation (promotion invalidations included) and never beat the
+// laws of accounting.
+func TestWrappersInFullSimulation(t *testing.T) {
+	const refs = 150_000
+	for _, mk := range []func() tlb.TLB{
+		func() tlb.TLB {
+			v, err := NewVictim(tlb.Config{Entries: 16, Ways: 2, Index: tlb.IndexExact}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v
+		},
+		func() tlb.TLB {
+			p, err := NewPrefetch(tlb.Config{Entries: 16, Ways: 2, Index: tlb.IndexExact})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		},
+	} {
+		pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(refs / 8))
+		sim := core.NewSimulator(pol, []tlb.TLB{mk()})
+		res, err := sim.Run(workload.MustNew("tomcatv", refs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := res.TLBs[0].Stats
+		if st.Accesses != refs {
+			t.Fatalf("accesses = %d", st.Accesses)
+		}
+		if st.Hits()+st.Misses() != st.Accesses {
+			t.Fatalf("accounting: %+v", st)
+		}
+	}
+}
+
+// The victim buffer must specifically help tomcatv's large-page-index
+// thrash: same total entries, fewer misses.
+func TestVictimHelpsTomcatv(t *testing.T) {
+	const refs = 300_000
+	run := func(mk func() tlb.TLB) uint64 {
+		pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(refs / 8))
+		sim := core.NewSimulator(pol, []tlb.TLB{mk()})
+		res, err := sim.Run(workload.MustNew("tomcatv", refs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TLBs[0].Stats.Misses()
+	}
+	plain := run(func() tlb.TLB {
+		return tlb.MustNew(tlb.Config{Entries: 16, Ways: 2, Index: tlb.IndexExact})
+	})
+	vict := run(func() tlb.TLB {
+		v, err := NewVictim(tlb.Config{Entries: 16, Ways: 2, Index: tlb.IndexExact}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	})
+	if vict*2 > plain {
+		t.Fatalf("victim buffer should at least halve tomcatv misses: plain %d vs victim %d",
+			plain, vict)
+	}
+}
+
+func TestTwoLevelBasics(t *testing.T) {
+	tl, err := NewTwoLevel(
+		tlb.Config{Entries: 2, Ways: 2},
+		tlb.Config{Entries: 8, Ways: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Entries() != 10 || tl.Name() == "" {
+		t.Fatal("accessors")
+	}
+	// Fill 4 pages: L1 holds 2, L2 holds all 4.
+	for i := 0; i < 4; i++ {
+		va := addr.VA(i << addr.Shift4K)
+		if tl.Access(va, smallPage(va)) {
+			t.Fatal("cold access must miss")
+		}
+	}
+	// Page 0 fell out of L1 but sits in L2: an L2 hit.
+	va := addr.VA(0)
+	if !tl.Access(va, smallPage(va)) {
+		t.Fatal("L2 should satisfy the re-access")
+	}
+	if tl.L2Hits != 1 {
+		t.Fatalf("L2 hits = %d", tl.L2Hits)
+	}
+	st := tl.Stats()
+	if st.Misses() != 4 || st.Hits() != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Invalidate removes from both levels.
+	if n := tl.Invalidate(smallPage(va)); n != 2 {
+		t.Fatalf("Invalidate = %d, want 2 (L1+L2)", n)
+	}
+	tl.Flush()
+	if tl.Access(addr.VA(1<<addr.Shift4K), smallPage(addr.VA(1<<addr.Shift4K))) {
+		t.Fatal("post-flush access must miss")
+	}
+}
+
+func TestTwoLevelValidation(t *testing.T) {
+	if _, err := NewTwoLevel(tlb.Config{Entries: 0}, tlb.Config{Entries: 8}); err == nil {
+		t.Fatal("bad L1 should fail")
+	}
+	if _, err := NewTwoLevel(tlb.Config{Entries: 4}, tlb.Config{Entries: -1}); err == nil {
+		t.Fatal("bad L2 should fail")
+	}
+}
+
+// A two-level hierarchy must produce far fewer software misses than the
+// bare L1 on a working set that fits the L2.
+func TestTwoLevelReducesSoftwareMisses(t *testing.T) {
+	const refs = 200_000
+	run := func(mk func() tlb.TLB) uint64 {
+		pol := policy.NewSingle(addr.Size4K)
+		sim := core.NewSimulator(pol, []tlb.TLB{mk()})
+		res, err := sim.Run(workload.MustNew("li", refs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TLBs[0].Stats.Misses()
+	}
+	bare := run(func() tlb.TLB { return tlb.MustNew(tlb.Config{Entries: 16, Ways: 16}) })
+	twoLvl := run(func() tlb.TLB {
+		h, err := NewTwoLevel(tlb.Config{Entries: 16, Ways: 16}, tlb.Config{Entries: 128, Ways: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	})
+	if twoLvl*4 > bare {
+		t.Fatalf("two-level misses %d should be a small fraction of bare %d", twoLvl, bare)
+	}
+}

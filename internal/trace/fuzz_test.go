@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzBinaryReader feeds arbitrary bytes to the binary decoder: it must
+// never panic, and everything it successfully decodes must re-encode.
+func FuzzBinaryReader(f *testing.F) {
+	// Seed with a real trace and some near-misses.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write(genRefs(64, 42))
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("TP92"))
+	f.Add([]byte("TP92\x00"))
+	f.Add([]byte("XXXX\x00\x01\x02"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewBinaryReader(bytes.NewReader(data))
+		out := make([]Ref, 0, 256)
+		batch := make([]Ref, 64)
+		for i := 0; i < 1000; i++ {
+			n, err := r.Read(batch)
+			out = append(out, batch[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		// Whatever decoded must survive a round trip.
+		var re bytes.Buffer
+		w := NewWriter(&re)
+		if err := w.Write(out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r2 := NewBinaryReader(&re)
+		got := make([]Ref, 0, len(out))
+		for {
+			n, err := r2.Read(batch)
+			got = append(got, batch[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		if len(got) != len(out) {
+			t.Fatalf("round trip length %d != %d", len(got), len(out))
+		}
+		for i := range out {
+			if got[i] != out[i] {
+				t.Fatalf("round trip ref %d: %v != %v", i, got[i], out[i])
+			}
+		}
+	})
+}
+
+// FuzzTextReader feeds arbitrary text to the text decoder: no panics,
+// and errors must be reported rather than silently swallowed mid-line.
+func FuzzTextReader(f *testing.F) {
+	f.Add("I 0x1000\nL 0x2000\nS 0x3000\n")
+	f.Add("# comment\n\nI 0x10\n")
+	f.Add("garbage")
+	f.Add("I")
+	f.Add("I 0x1000 extra\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		r := NewTextReader(bytes.NewReader([]byte(data)))
+		batch := make([]Ref, 32)
+		for i := 0; i < 1000; i++ {
+			n, err := r.Read(batch)
+			for _, ref := range batch[:n] {
+				if ref.Kind > Store {
+					t.Fatalf("decoded invalid kind %d", ref.Kind)
+				}
+			}
+			if err != nil {
+				if err == io.EOF && n > 0 {
+					// fine: final partial batch
+				}
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,159 @@
+// Package tracestat characterizes reference streams in the terms the
+// paper's analysis uses: footprint at both page sizes, spatial density
+// of 32KB chunks (which directly predicts what the Section 3.4
+// promotion policy will do), data-stride distribution, and
+// sequentiality. cmd/traceinfo exposes it on the command line; the
+// experiment write-ups in EXPERIMENTS.md lean on it to explain why each
+// program behaves as it does.
+package tracestat
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"twopage/internal/addr"
+	"twopage/internal/stats"
+	"twopage/internal/trace"
+)
+
+// Report summarizes one reference stream.
+type Report struct {
+	// Counts tallies references per kind.
+	Counts trace.Count
+	// Blocks and Chunks are the distinct 4KB / 32KB footprints.
+	Blocks uint64
+	Chunks uint64
+	// FootprintBytes is Blocks × 4KB: the touched memory.
+	FootprintBytes uint64
+	// ChunkDensity[k] counts chunks with exactly k of their 8 blocks
+	// touched (k = 1..8); index 0 is unused. The promotion policy
+	// promotes chunks reaching the threshold, so this distribution
+	// predicts large-page usage.
+	ChunkDensity [addr.BlocksPerChunk + 1]uint64
+	// DataStride is the histogram of |delta| between successive data
+	// reference addresses.
+	DataStride stats.LogHist
+	// InstrStride is the same for instruction fetches.
+	InstrStride stats.LogHist
+	// DataRun summarizes run lengths of monotone small-stride data
+	// accesses (a sequentiality measure).
+	DataRun stats.Summary
+}
+
+// SeqFraction returns the fraction of data references whose stride is
+// below 128 bytes — near-sequential traffic.
+func (r *Report) SeqFraction() float64 { return r.DataStride.FractionBelow(128) }
+
+// PromotableFraction returns the fraction of touched chunks whose final
+// density meets the given promotion threshold. With the paper's
+// threshold of 4 this approximates (from whole-trace footprints) how
+// much of the address space the dynamic policy can move to large pages.
+func (r *Report) PromotableFraction(threshold int) float64 {
+	if r.Chunks == 0 {
+		return 0
+	}
+	var n uint64
+	for k := threshold; k <= addr.BlocksPerChunk; k++ {
+		n += r.ChunkDensity[k]
+	}
+	return float64(n) / float64(r.Chunks)
+}
+
+// MeanDensity returns the average touched-blocks-per-chunk.
+func (r *Report) MeanDensity() float64 {
+	if r.Chunks == 0 {
+		return 0
+	}
+	var sum uint64
+	for k := 1; k <= addr.BlocksPerChunk; k++ {
+		sum += uint64(k) * r.ChunkDensity[k]
+	}
+	return float64(sum) / float64(r.Chunks)
+}
+
+// Analyze consumes the stream and builds a Report.
+func Analyze(r trace.Reader) (*Report, error) {
+	rep := &Report{}
+	blocks := make(map[addr.PN]bool)
+	var lastData, lastInstr addr.VA
+	haveData, haveInstr := false, false
+	run := 0.0
+	_, err := trace.Drain(r, func(batch []trace.Ref) {
+		for _, ref := range batch {
+			switch ref.Kind {
+			case trace.Instr:
+				rep.Counts.Instr++
+				if haveInstr {
+					rep.InstrStride.Add(absDelta(ref.Addr, lastInstr))
+				}
+				lastInstr = ref.Addr
+				haveInstr = true
+			default:
+				if ref.Kind == trace.Load {
+					rep.Counts.Load++
+				} else {
+					rep.Counts.Store++
+				}
+				if haveData {
+					d := absDelta(ref.Addr, lastData)
+					rep.DataStride.Add(d)
+					if d <= 128 {
+						run++
+					} else if run > 0 {
+						rep.DataRun.Add(run)
+						run = 0
+					}
+				}
+				lastData = ref.Addr
+				haveData = true
+			}
+			blocks[addr.Block(ref.Addr)] = true
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if run > 0 {
+		rep.DataRun.Add(run)
+	}
+	rep.Blocks = uint64(len(blocks))
+	rep.FootprintBytes = rep.Blocks * addr.BlockSize
+	perChunk := make(map[addr.PN]int)
+	for b := range blocks {
+		perChunk[addr.ChunkOfBlock(b)]++
+	}
+	rep.Chunks = uint64(len(perChunk))
+	for _, k := range perChunk {
+		rep.ChunkDensity[k]++
+	}
+	return rep, nil
+}
+
+func absDelta(a, b addr.VA) uint64 {
+	if a >= b {
+		return uint64(a - b)
+	}
+	return uint64(b - a)
+}
+
+// WriteTo renders the report as text.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "references:      %d (I %d, L %d, S %d; RPI %.3f)\n",
+		r.Counts.Total(), r.Counts.Instr, r.Counts.Load, r.Counts.Store, r.Counts.RPI())
+	fmt.Fprintf(&b, "footprint:       %d blocks (4KB) = %.2f MB over %d chunks (32KB)\n",
+		r.Blocks, float64(r.FootprintBytes)/(1<<20), r.Chunks)
+	fmt.Fprintf(&b, "chunk density:   mean %.2f blocks/chunk; promotable@4: %.0f%%\n",
+		r.MeanDensity(), 100*r.PromotableFraction(addr.BlocksPerChunk/2))
+	fmt.Fprintf(&b, "density histo:   ")
+	for k := 1; k <= addr.BlocksPerChunk; k++ {
+		fmt.Fprintf(&b, "%d:%d ", k, r.ChunkDensity[k])
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "data strides:    %s\n", r.DataStride.String())
+	fmt.Fprintf(&b, "sequentiality:   %.0f%% of data refs move < 128B\n", 100*r.SeqFraction())
+	fmt.Fprintf(&b, "seq run length:  %s\n", r.DataRun.String())
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}

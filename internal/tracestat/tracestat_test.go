@@ -1,0 +1,147 @@
+package tracestat
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"twopage/internal/addr"
+	"twopage/internal/trace"
+	"twopage/internal/workload"
+)
+
+func TestAnalyzeSyntheticStream(t *testing.T) {
+	// Build a stream with known structure: 10 instruction fetches on one
+	// page, 3 data blocks in chunk 0, 1 data block in chunk 5.
+	var refs []trace.Ref
+	for i := 0; i < 10; i++ {
+		refs = append(refs, trace.Ref{Addr: 0x100000 + addr.VA(4*i), Kind: trace.Instr})
+	}
+	for i := 0; i < 3; i++ {
+		refs = append(refs, trace.Ref{Addr: addr.VA(i * addr.BlockSize), Kind: trace.Load})
+	}
+	refs = append(refs, trace.Ref{Addr: addr.VA(5*addr.ChunkSize + 64), Kind: trace.Store})
+
+	rep, err := Analyze(trace.NewSliceReader(refs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counts.Instr != 10 || rep.Counts.Load != 3 || rep.Counts.Store != 1 {
+		t.Fatalf("counts: %+v", rep.Counts)
+	}
+	// Footprint: 1 code block + 3 + 1 data blocks.
+	if rep.Blocks != 5 {
+		t.Fatalf("blocks = %d", rep.Blocks)
+	}
+	// Chunks: code chunk, chunk 0, chunk 5.
+	if rep.Chunks != 3 {
+		t.Fatalf("chunks = %d", rep.Chunks)
+	}
+	// Density: two chunks with 1 block (code, chunk 5), one with 3.
+	if rep.ChunkDensity[1] != 2 || rep.ChunkDensity[3] != 1 {
+		t.Fatalf("density: %v", rep.ChunkDensity)
+	}
+	if got := rep.MeanDensity(); math.Abs(got-5.0/3.0) > 1e-12 {
+		t.Fatalf("mean density = %v", got)
+	}
+	// No chunk reaches the threshold of 4.
+	if rep.PromotableFraction(4) != 0 {
+		t.Fatalf("promotable = %v", rep.PromotableFraction(4))
+	}
+	if rep.PromotableFraction(1) != 1 {
+		t.Fatalf("promotable@1 = %v", rep.PromotableFraction(1))
+	}
+	if rep.FootprintBytes != 5*addr.BlockSize {
+		t.Fatalf("footprint = %d", rep.FootprintBytes)
+	}
+}
+
+func TestStrideAndSequentiality(t *testing.T) {
+	var refs []trace.Ref
+	// 100 sequential 8-byte-stride loads, then one 1MB jump, then 100 more.
+	for i := 0; i < 100; i++ {
+		refs = append(refs, trace.Ref{Addr: addr.VA(8 * i), Kind: trace.Load})
+	}
+	for i := 0; i < 100; i++ {
+		refs = append(refs, trace.Ref{Addr: addr.VA(1<<20 + 8*i), Kind: trace.Load})
+	}
+	rep, err := Analyze(trace.NewSliceReader(refs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 199 strides: 198 of 8 bytes, 1 of ~1MB.
+	if rep.DataStride.N() != 199 {
+		t.Fatalf("strides = %d", rep.DataStride.N())
+	}
+	if got := rep.SeqFraction(); got < 0.98 {
+		t.Fatalf("seq fraction = %v", got)
+	}
+	// Two sequential runs recorded.
+	if rep.DataRun.N() != 2 {
+		t.Fatalf("runs = %d (%s)", rep.DataRun.N(), rep.DataRun.String())
+	}
+	if rep.DataRun.Mean() < 90 {
+		t.Fatalf("mean run = %v", rep.DataRun.Mean())
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	rep, err := Analyze(trace.NewSliceReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Blocks != 0 || rep.Chunks != 0 || rep.MeanDensity() != 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	if rep.PromotableFraction(4) != 0 || rep.SeqFraction() != 0 {
+		t.Fatal("empty fractions should be 0")
+	}
+}
+
+// The analyzer must explain the workload contrasts the experiments rely
+// on: worm's chunks sit below the promotion threshold, matrix300's are
+// dense and promotable.
+func TestWorkloadDensityContrast(t *testing.T) {
+	analyze := func(name string) *Report {
+		rep, err := Analyze(workload.MustNew(name, 400_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	worm := analyze("worm")
+	m300 := analyze("matrix300")
+	if p := worm.PromotableFraction(4); p > 0.15 {
+		t.Errorf("worm promotable fraction = %v, want ~0 (3-block regions)", p)
+	}
+	if p := m300.PromotableFraction(4); p < 0.8 {
+		t.Errorf("matrix300 promotable fraction = %v, want ~1 (dense matrices)", p)
+	}
+	// worm's modal density is 3 blocks/chunk by construction.
+	peak, peakK := uint64(0), 0
+	for k := 1; k <= 8; k++ {
+		if worm.ChunkDensity[k] > peak {
+			peak, peakK = worm.ChunkDensity[k], k
+		}
+	}
+	if peakK != 3 {
+		t.Errorf("worm modal density = %d blocks/chunk, want 3 (%v)", peakK, worm.ChunkDensity)
+	}
+}
+
+func TestReportWriteTo(t *testing.T) {
+	rep, err := Analyze(workload.MustNew("li", 50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, err := rep.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"references:", "footprint:", "chunk density:", "sequentiality:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package wss computes average working-set sizes (Denning, 1968) for
+// single page sizes and for the paper's dynamic two-page-size scheme.
+//
+// The working set W(t, T, ps) is the set of distinct pages referenced in
+// the last T references under page-size scheme ps; its size w(t, T, ps)
+// is the sum of the sizes of those pages, and the paper's metric is the
+// time average s(T, ps) = (1/k) Σ_t w(t, T, ps) (Section 3.2).
+//
+// For static page sizes, Static uses the residency-accumulation identity
+// (after Slutz & Traiger, CACM 1974): a page accessed at times
+// u_1 < u_2 < ... < u_m is in the working set for
+// Σ_i min(u_{i+1} − u_i, T) + min(k − u_m, T) time steps, so the average
+// needs only a last-access timestamp per page — "very few counters"
+// exactly as Section 3.3 describes — and computes all requested page
+// sizes in a single pass.
+//
+// For the dynamic 4KB/32KB scheme, page identities change as chunks are
+// promoted and demoted, so TwoSize instead observes the policy's own
+// sliding window (internal/window) and maintains the instantaneous
+// working-set size incrementally:
+//
+//	w(t) = 32KB × (active large chunks) + 4KB × (active blocks in small chunks)
+//
+// where a chunk/block is active if referenced in the window and a chunk
+// counts as large per the policy's current mapping.
+package wss
+
+import (
+	"fmt"
+	"sort"
+
+	"twopage/internal/addr"
+	"twopage/internal/policy"
+)
+
+// Result is the average working-set size for one page-size scheme.
+type Result struct {
+	Scheme   string  // e.g. "4KB", "32KB", "4KB/32KB"
+	AvgBytes float64 // s(T, ps) in bytes
+}
+
+// Normalized returns r.AvgBytes / base.AvgBytes, the paper's
+// WS_Normalized metric (base is the 4KB result).
+func (r Result) Normalized(base Result) float64 {
+	if base.AvgBytes == 0 {
+		return 0
+	}
+	return r.AvgBytes / base.AvgBytes
+}
+
+// Static computes average working-set sizes for several static page
+// sizes in one pass over the reference stream.
+type Static struct {
+	t      uint64
+	shifts []uint
+	last   []map[addr.PN]uint64 // per shift: page -> last access time
+	acc    []uint64             // per shift: accumulated residency steps
+	steps  uint64
+	done   bool
+}
+
+// NewStatic returns a calculator for window T (in references) and the
+// given page shifts. T must be positive; shifts must be non-empty.
+func NewStatic(T uint64, shifts ...uint) *Static {
+	if T == 0 {
+		panic("wss: T must be positive")
+	}
+	if len(shifts) == 0 {
+		panic("wss: need at least one page shift")
+	}
+	s := &Static{
+		t:      T,
+		shifts: append([]uint(nil), shifts...),
+		last:   make([]map[addr.PN]uint64, len(shifts)),
+		acc:    make([]uint64, len(shifts)),
+	}
+	for i := range s.last {
+		s.last[i] = make(map[addr.PN]uint64)
+	}
+	return s
+}
+
+// Step observes one reference. Time advances by one per call.
+func (s *Static) Step(va addr.VA) {
+	if s.done {
+		panic("wss: Step after Finish")
+	}
+	t := s.steps
+	s.steps++
+	for i, shift := range s.shifts {
+		pn := addr.Page(va, shift)
+		if lastT, ok := s.last[i][pn]; ok {
+			gap := t - lastT
+			if gap > s.t {
+				gap = s.t
+			}
+			s.acc[i] += gap
+		}
+		s.last[i][pn] = t
+	}
+}
+
+// Finish closes the stream and returns one Result per shift, in the
+// order the shifts were given. Further Steps panic.
+func (s *Static) Finish() []Result {
+	if s.done {
+		panic("wss: Finish called twice")
+	}
+	s.done = true
+	out := make([]Result, len(s.shifts))
+	for i, shift := range s.shifts {
+		acc := s.acc[i]
+		for _, lastT := range s.last[i] {
+			gap := s.steps - lastT
+			if gap > s.t {
+				gap = s.t
+			}
+			acc += gap
+		}
+		size := uint64(1) << shift
+		var avg float64
+		if s.steps > 0 {
+			avg = float64(acc) * float64(size) / float64(s.steps)
+		}
+		out[i] = Result{Scheme: addr.PageSize(size).String(), AvgBytes: avg}
+	}
+	return out
+}
+
+// Steps returns how many references have been observed.
+func (s *Static) Steps() uint64 { return s.steps }
+
+// TwoSize computes the average working-set size of the dynamic
+// 4KB/32KB scheme by observing a policy.TwoSize. Create it with
+// NewTwoSize *before* the first Assign on the policy (it registers
+// window hooks), then call Observe with each Assign result.
+type TwoSize struct {
+	pol       *policy.TwoSize
+	largeSize uint64 // bytes per large page
+
+	largeActive   int // chunks currently mapped large with >=1 active block
+	blocksInLarge int // active blocks belonging to large chunks
+
+	acc   float64
+	steps uint64
+}
+
+// NewTwoSize attaches a working-set calculator to pol. It must be called
+// before pol observes any references; it panics if the window already
+// has hooks installed (one calculator per policy).
+func NewTwoSize(pol *policy.TwoSize) *TwoSize {
+	w := pol.Window()
+	if w.OnBlockEnter != nil || w.OnBlockLeave != nil {
+		panic("wss: policy window already has hooks")
+	}
+	ts := &TwoSize{pol: pol, largeSize: uint64(1) << pol.Config().LargeShift}
+	w.OnBlockEnter = func(b addr.PN) {
+		c := w.ChunkOf(b)
+		if pol.IsLarge(c) {
+			ts.blocksInLarge++
+			if w.ChunkActive(c) == 1 { // this block made the chunk active
+				ts.largeActive++
+			}
+		}
+	}
+	w.OnBlockLeave = func(b addr.PN) {
+		c := w.ChunkOf(b)
+		if pol.IsLarge(c) {
+			ts.blocksInLarge--
+			if w.ChunkActive(c) == 0 {
+				ts.largeActive--
+			}
+		}
+	}
+	return ts
+}
+
+// Observe records the outcome of one policy.Assign call: it applies any
+// promotion/demotion to the incremental state and accumulates the
+// instantaneous working-set size.
+func (ts *TwoSize) Observe(res policy.Result) {
+	w := ts.pol.Window()
+	switch res.Event {
+	case policy.EventPromote:
+		// The chunk's active blocks move from the small side to the
+		// large side; the chunk is active (the triggering access is in
+		// the window).
+		n := w.ChunkActive(res.Chunk)
+		ts.blocksInLarge += n
+		ts.largeActive++
+	case policy.EventDemote:
+		n := w.ChunkActive(res.Chunk)
+		ts.blocksInLarge -= n
+		ts.largeActive--
+	}
+	smallBlocks := w.ActiveBlocks() - ts.blocksInLarge
+	ts.acc += float64(uint64(ts.largeActive)*ts.largeSize +
+		uint64(smallBlocks)*addr.BlockSize)
+	ts.steps++
+}
+
+// Current returns the instantaneous working-set size in bytes.
+func (ts *TwoSize) Current() uint64 {
+	smallBlocks := ts.pol.Window().ActiveBlocks() - ts.blocksInLarge
+	return uint64(ts.largeActive)*ts.largeSize + uint64(smallBlocks)*addr.BlockSize
+}
+
+// Result returns the average working-set size so far.
+func (ts *TwoSize) Result() Result {
+	var avg float64
+	if ts.steps > 0 {
+		avg = ts.acc / float64(ts.steps)
+	}
+	return Result{Scheme: ts.pol.Name(), AvgBytes: avg}
+}
+
+// Steps returns how many references have been observed.
+func (ts *TwoSize) Steps() uint64 { return ts.steps }
+
+// FormatBytes renders a byte count in the paper's usual "0.82MB" style.
+func FormatBytes(b float64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}
+
+// SortResults orders results by ascending average size, for stable report
+// output when schemes are collected from maps.
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].AvgBytes < rs[j].AvgBytes })
+}
