@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test verify bench paper
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the pre-merge gate: static checks, a full build, and the
+# test suite under the race detector (the engine is concurrent; races
+# are correctness bugs here, not style).
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure at full scale.
+paper:
+	$(GO) run ./cmd/paper all

@@ -1,7 +1,9 @@
 package twopage_test
 
 import (
+	"context"
 	"io"
+	"runtime"
 	"testing"
 
 	"twopage/internal/addr"
@@ -18,20 +20,46 @@ import (
 // reported in EXPERIMENTS.md come from `cmd/paper` at scale 1.0.
 const benchScale = 0.02
 
-// benchExperiment regenerates one paper artifact per iteration.
+// benchExperiment regenerates one paper artifact per iteration. Each
+// iteration gets a fresh Runner (and engine), so the memo cache never
+// carries results between iterations.
 func benchExperiment(b *testing.B, id string, workloads []string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		err := experiments.Run(id, experiments.Options{
-			Scale:     benchScale,
-			Out:       io.Discard,
-			Workloads: workloads,
-		})
-		if err != nil {
+		r := experiments.NewRunner(
+			experiments.WithScale(benchScale),
+			experiments.WithOut(io.Discard),
+			experiments.WithWorkloads(workloads...),
+		)
+		if err := r.Run(context.Background(), id); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// benchEngineAt runs the CPI-heavy experiment block through one shared
+// engine at the given parallelism — the workload mix of `paper
+// fig5.1 fig5.2 table5.1 deltamp indexing -scale 0.05 -j n`. Comparing
+// the two sub-benchmarks shows the pool's speedup; on a >= 4-core
+// machine the parallel variant approaches a linear multiple of the
+// sequential one (the passes are independent simulations).
+func benchEngineAt(b *testing.B, parallelism int) {
+	b.Helper()
+	ids := []string{"fig5.1", "fig5.2", "table5.1", "deltamp", "indexing"}
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(
+			experiments.WithScale(0.05),
+			experiments.WithOut(io.Discard),
+			experiments.WithParallelism(parallelism),
+		)
+		if err := r.RunAll(context.Background(), ids...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineSequential(b *testing.B) { benchEngineAt(b, 1) }
+func BenchmarkEngineParallel(b *testing.B)   { benchEngineAt(b, runtime.NumCPU()) }
 
 // One benchmark per paper table/figure (all twelve programs each).
 
@@ -85,7 +113,7 @@ func BenchmarkReplacementSweep(b *testing.B) { benchExperiment(b, "replacement",
 func BenchmarkSimulatorTwoSize(b *testing.B) {
 	pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(1 << 17))
 	sim := core.NewSimulator(pol, []tlb.TLB{tlb.NewFullyAssoc(16)})
-	res, err := sim.Run(workload.MustNew("matrix300", uint64(b.N)+1))
+	res, err := sim.Run(context.Background(), workload.MustNew("matrix300", uint64(b.N)+1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -97,7 +125,7 @@ func BenchmarkSimulatorTwoSize(b *testing.B) {
 // BenchmarkSimulatorSingle4K is the single-page-size baseline pipeline.
 func BenchmarkSimulatorSingle4K(b *testing.B) {
 	sim := core.NewSimulator(policy.NewSingle(addr.Size4K), []tlb.TLB{tlb.NewFullyAssoc(16)})
-	if _, err := sim.Run(workload.MustNew("matrix300", uint64(b.N)+1)); err != nil {
+	if _, err := sim.Run(context.Background(), workload.MustNew("matrix300", uint64(b.N)+1)); err != nil {
 		b.Fatal(err)
 	}
 }

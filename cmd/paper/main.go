@@ -4,21 +4,33 @@
 //
 // Usage:
 //
-//	paper [-scale f] [-csv] [-workloads a,b,c] [experiment ...]
+//	paper [-scale f] [-j n] [-csv|-json] [-workloads a,b,c] [experiment ...]
 //	paper -list
 //
 // With no experiment arguments (or "all"), every experiment runs in
 // order. Scale 1.0 (default) runs the full-length traces; smaller scales
 // shrink traces and windows proportionally for quick looks.
+//
+// Experiments execute concurrently over one shared engine: -j bounds
+// the simulation worker pool, identical passes are simulated once, and
+// tables are printed in request order — stdout is byte-identical for
+// any -j. Timing and -progress reports go to stderr.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
+	"twopage/internal/engine"
 	"twopage/internal/experiments"
 	"twopage/internal/plot"
 )
@@ -42,9 +54,12 @@ var chartSpec = map[string]struct {
 func main() {
 	scale := flag.Float64("scale", 1.0, "trace-length multiplier (1.0 = full size)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit JSON documents instead of aligned tables")
 	chart := flag.Bool("chart", false, "render figures as ASCII bar charts where applicable")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	workloads := flag.String("workloads", "", "comma-separated program subset (default: experiment's own)")
+	parallelism := flag.Int("j", runtime.NumCPU(), "max concurrent simulation passes")
+	progress := flag.Bool("progress", false, "report each completed simulation pass on stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] [experiment ...|all]\n\nFlags:\n", os.Args[0])
 		flag.PrintDefaults()
@@ -70,44 +85,94 @@ func main() {
 		}
 	}
 
-	opt := experiments.Options{Scale: *scale, CSV: *csv, Out: os.Stdout}
-	if *workloads != "" {
-		opt.Workloads = strings.Split(*workloads, ",")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	eopts := []experiments.Opt{
+		experiments.WithScale(*scale),
+		experiments.WithCSV(*csv),
+		experiments.WithJSON(*jsonOut),
+		experiments.WithParallelism(*parallelism),
 	}
+	if *workloads != "" {
+		eopts = append(eopts, experiments.WithWorkloads(strings.Split(*workloads, ",")...))
+	}
+	if *progress {
+		eopts = append(eopts, experiments.WithProgress(func(ev engine.Event) {
+			tag := ""
+			if ev.CacheHit {
+				tag = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s%s\n", ev.Done, ev.Submitted, ev.Key, tag)
+		}))
+	}
+	opts := experiments.NewOptions(eopts...)
+
+	// Every experiment renders into its own buffer on its own
+	// goroutine; the shared engine bounds the simulation work and
+	// deduplicates passes across experiments. Buffers are flushed in
+	// request order so stdout does not depend on -j.
+	type outcome struct {
+		buf bytes.Buffer
+		dur time.Duration
+		err error
+	}
+	outs := make([]outcome, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			start := time.Now()
+			outs[i].err = runOne(ctx, id, opts, *chart, &outs[i].buf)
+			outs[i].dur = time.Since(start)
+		}(i, id)
+	}
+	wg.Wait()
 
 	for i, id := range ids {
+		if outs[i].err != nil {
+			fmt.Fprintf(os.Stderr, "paper: %v\n", outs[i].err)
+			os.Exit(1)
+		}
 		if i > 0 {
 			fmt.Println()
 		}
-		start := time.Now()
-		if err := runOne(id, opt, *chart); err != nil {
+		if _, err := outs[i].buf.WriteTo(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "paper: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("  [%s in %.1fs at scale %g]\n", id, time.Since(start).Seconds(), *scale)
+		fmt.Fprintf(os.Stderr, "  [%s in %.1fs at scale %g]\n", id, outs[i].dur.Seconds(), *scale)
 	}
 }
 
-// runOne executes an experiment and renders it as a table, CSV, or —
-// when requested and applicable — an ASCII chart.
-func runOne(id string, opt experiments.Options, chart bool) error {
-	spec, chartable := chartSpec[id]
-	if !chart || !chartable {
-		return experiments.Run(id, opt)
-	}
+// runOne executes an experiment and renders it into w as a table, CSV,
+// JSON, or — when requested and applicable — an ASCII chart.
+func runOne(ctx context.Context, id string, opts *experiments.Options, chart bool, w io.Writer) error {
 	e, err := experiments.Get(id)
 	if err != nil {
 		return err
 	}
-	tbl, err := e.Run(opt)
+	tbl, err := e.Run(ctx, opts)
 	if err != nil {
+		return fmt.Errorf("%s: %w", id, err)
+	}
+	if spec, chartable := chartSpec[id]; chart && chartable {
+		c, err := plot.FromTable(tbl, e.Title, spec.cat, spec.val)
+		if err != nil {
+			return err
+		}
+		c.Log = spec.log
+		_, err = c.WriteTo(w)
 		return err
 	}
-	c, err := plot.FromTable(tbl, e.Title, spec.cat, spec.val)
-	if err != nil {
+	switch {
+	case opts.JSON:
+		return tbl.JSON(w)
+	case opts.CSV:
+		return tbl.CSV(w)
+	default:
+		_, err = tbl.WriteTo(w)
 		return err
 	}
-	c.Log = spec.log
-	_, err = c.WriteTo(os.Stdout)
-	return err
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -19,7 +20,8 @@ func TestChartSpecsMatchTables(t *testing.T) {
 			t.Errorf("chartSpec references unknown experiment %q", id)
 			continue
 		}
-		tbl, err := e.Run(experiments.Options{Scale: 0.01, Workloads: []string{"li"}})
+		tbl, err := e.Run(context.Background(),
+			experiments.NewOptions(experiments.WithScale(0.01), experiments.WithWorkloads("li")))
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -126,7 +127,7 @@ func main() {
 	}
 
 	sim := core.NewSimulator(pol, []tlb.TLB{t}, opts...)
-	res, err := sim.Run(src)
+	res, err := sim.Run(context.Background(), src)
 	if err != nil {
 		fatal("%v", err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -98,7 +99,7 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	st, err := m.Run(spec.New(n))
+	st, err := m.Run(context.Background(), spec.New(n))
 	if err != nil {
 		fatal("%v", err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -94,7 +95,7 @@ func main() {
 		*two = false
 	}
 
-	results, err := core.MeasureStaticWSS(open(), T, pageSizes...)
+	results, err := core.MeasureStaticWSS(context.Background(), open(), T, pageSizes...)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -106,7 +107,7 @@ func main() {
 			metrics.WSNormalized(r.AvgBytes, base.AvgBytes))
 	}
 	if *two {
-		res, stats, err := core.MeasureTwoSizeWSS(open(), policy.DefaultTwoSizeConfig(int(T)))
+		res, stats, err := core.MeasureTwoSizeWSS(context.Background(), open(), policy.DefaultTwoSizeConfig(int(T)))
 		if err != nil {
 			fatal("%v", err)
 		}

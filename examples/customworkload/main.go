@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -56,7 +57,7 @@ func main() {
 	// 2. Evaluate the page-size schemes on it.
 	run := func(pol policy.Assigner) *core.Result {
 		sim := core.NewSimulator(pol, []tlb.TLB{tlb.NewFullyAssoc(16)})
-		res, err := sim.Run(workload.MustParse("db", refs, dbSpec))
+		res, err := sim.Run(context.Background(), workload.MustParse("db", refs, dbSpec))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -61,7 +62,7 @@ func part2() {
 	run := func(mk func() tlb.TLB) float64 {
 		pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(refs / 8))
 		sim := core.NewSimulator(pol, []tlb.TLB{mk()})
-		res, err := sim.Run(workload.MustNew("tomcatv", refs))
+		res, err := sim.Run(context.Background(), workload.MustNew("tomcatv", refs))
 		if err != nil {
 			log.Fatal(err)
 		}

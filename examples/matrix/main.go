@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -37,11 +38,11 @@ func singleSize(size addr.PageSize) (cpiFA, cpi2W float64, avgWS float64) {
 		tlb.NewFullyAssoc(16),
 		tlb.MustNew(tlb.Config{Entries: 16, Ways: 2, Index: tlb.IndexExact}),
 	})
-	res, err := sim.Run(workload.MustNew("matrix300", refs))
+	res, err := sim.Run(context.Background(), workload.MustNew("matrix300", refs))
 	if err != nil {
 		log.Fatal(err)
 	}
-	wr, err := core.MeasureStaticWSS(workload.MustNew("matrix300", refs), T, size)
+	wr, err := core.MeasureStaticWSS(context.Background(), workload.MustNew("matrix300", refs), T, size)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func twoSize() (cpiFA, cpi2W float64, avgWS float64, promos uint64) {
 		tlb.NewFullyAssoc(16),
 		tlb.MustNew(tlb.Config{Entries: 16, Ways: 2, Index: tlb.IndexExact}),
 	}, core.WithWSS())
-	res, err := sim.Run(workload.MustNew("matrix300", refs))
+	res, err := sim.Run(context.Background(), workload.MustNew("matrix300", refs))
 	if err != nil {
 		log.Fatal(err)
 	}

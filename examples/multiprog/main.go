@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -57,7 +58,7 @@ func run(two, flush bool) (cpi float64, switches uint64) {
 		mp.OnSwitch = func(from, to int) { hw.Flush() }
 	}
 	sim := core.NewSimulator(pol, []tlb.TLB{hw})
-	res, err := sim.Run(mp)
+	res, err := sim.Run(context.Background(), mp)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 		policy.NewSingle(addr.Size4K),
 		[]tlb.TLB{tlb.NewFullyAssoc(16)},
 	)
-	baseRes, err := base.Run(workload.MustNew("matrix300", refs))
+	baseRes, err := base.Run(context.Background(), workload.MustNew("matrix300", refs))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func main() {
 	// higher miss penalty of Section 2.3 and the working-set tracker.
 	pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))
 	two := core.NewSimulator(pol, []tlb.TLB{tlb.NewFullyAssoc(16)}, core.WithWSS())
-	twoRes, err := two.Run(workload.MustNew("matrix300", refs))
+	twoRes, err := two.Run(context.Background(), workload.MustNew("matrix300", refs))
 	if err != nil {
 		log.Fatal(err)
 	}

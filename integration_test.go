@@ -2,6 +2,7 @@ package twopage_test
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"regexp"
 	"testing"
@@ -28,7 +29,7 @@ func TestDirectVsAllAssociativity(t *testing.T) {
 		fa16 := tlb.NewFullyAssoc(16)
 		fa32 := tlb.NewFullyAssoc(32)
 		sim := core.NewSimulator(policy.NewSingle(addr.Size4K), []tlb.TLB{fa16, fa32})
-		if _, err := sim.Run(workload.MustNew(name, refs)); err != nil {
+		if _, err := sim.Run(context.Background(), workload.MustNew(name, refs)); err != nil {
 			t.Fatal(err)
 		}
 		// One stack-simulation pass covering both sizes.
@@ -82,7 +83,7 @@ func TestTraceFileRoundTripPreservesSimulation(t *testing.T) {
 		pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(refs / 8))
 		hw := tlb.NewFullyAssoc(16)
 		sim := core.NewSimulator(pol, []tlb.TLB{hw})
-		if _, err := sim.Run(src); err != nil {
+		if _, err := sim.Run(context.Background(), src); err != nil {
 			t.Fatal(err)
 		}
 		return hw.Stats()
@@ -165,7 +166,7 @@ func TestAllWorkloadsAccounting(t *testing.T) {
 		pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(refs / 8))
 		hw := tlb.NewFullyAssoc(16)
 		sim := core.NewSimulator(pol, []tlb.TLB{hw}, core.WithWSS())
-		res, err := sim.Run(workload.MustNew(spec.Name, refs))
+		res, err := sim.Run(context.Background(), workload.MustNew(spec.Name, refs))
 		if err != nil {
 			t.Fatalf("%s: %v", spec.Name, err)
 		}
@@ -188,7 +189,7 @@ func TestAllWorkloadsAccounting(t *testing.T) {
 		}
 		// The two-page working set is bounded by twice the 4KB one
 		// (Section 3.4's worst case); compare against a fresh static pass.
-		static, err := core.MeasureStaticWSS(workload.MustNew(spec.Name, refs),
+		static, err := core.MeasureStaticWSS(context.Background(), workload.MustNew(spec.Name, refs),
 			uint64(refs/8), addr.Size4K)
 		if err != nil {
 			t.Fatal(err)

@@ -8,7 +8,7 @@
 //
 //	pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(1_000_000))
 //	sim := core.NewSimulator(pol, tlb.NewFullyAssoc(16))
-//	res, err := sim.Run(workload.MustNew("matrix300", 0))
+//	res, err := sim.Run(ctx, workload.MustNew("matrix300", 0))
 //	fmt.Println(res.TLBs[0].CPITLB)
 //
 // Simulating several TLB configurations against the same policy shares
@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"twopage/internal/addr"
@@ -104,9 +105,12 @@ func NewSimulator(pol policy.Assigner, tlbs []tlb.TLB, opts ...Option) *Simulato
 
 // Run consumes the reference stream to completion and returns metrics.
 // A Simulator is single-use: Run may only be called once.
-func (s *Simulator) Run(r trace.Reader) (*Result, error) {
+//
+// Cancellation is checked between batches: when ctx is canceled the
+// simulation stops mid-trace and Run returns the context's error.
+func (s *Simulator) Run(ctx context.Context, r trace.Reader) (*Result, error) {
 	var refs, instrs uint64
-	_, err := trace.Drain(r, func(batch []trace.Ref) {
+	_, err := trace.DrainContext(ctx, r, func(batch []trace.Ref) {
 		for _, ref := range batch {
 			refs++
 			if ref.Kind == trace.Instr {
@@ -184,7 +188,7 @@ func (s *Simulator) applyEvent(res policy.Result) {
 // MeasureStaticWSS computes average working-set sizes for a set of
 // static page sizes over a reference stream in one pass, no TLBs
 // involved (the Section 4 experiments).
-func MeasureStaticWSS(r trace.Reader, T uint64, sizes ...addr.PageSize) ([]wss.Result, error) {
+func MeasureStaticWSS(ctx context.Context, r trace.Reader, T uint64, sizes ...addr.PageSize) ([]wss.Result, error) {
 	shifts := make([]uint, len(sizes))
 	for i, s := range sizes {
 		if !s.Valid() {
@@ -193,7 +197,7 @@ func MeasureStaticWSS(r trace.Reader, T uint64, sizes ...addr.PageSize) ([]wss.R
 		shifts[i] = s.Shift()
 	}
 	calc := wss.NewStatic(T, shifts...)
-	_, err := trace.Drain(r, func(batch []trace.Ref) {
+	_, err := trace.DrainContext(ctx, r, func(batch []trace.Ref) {
 		for _, ref := range batch {
 			calc.Step(ref.Addr)
 		}
@@ -206,10 +210,10 @@ func MeasureStaticWSS(r trace.Reader, T uint64, sizes ...addr.PageSize) ([]wss.R
 
 // MeasureTwoSizeWSS computes the average working-set size of the dynamic
 // 4KB/32KB scheme over a reference stream, without simulating TLBs.
-func MeasureTwoSizeWSS(r trace.Reader, cfg policy.TwoSizeConfig) (wss.Result, policy.TwoSizeStats, error) {
+func MeasureTwoSizeWSS(ctx context.Context, r trace.Reader, cfg policy.TwoSizeConfig) (wss.Result, policy.TwoSizeStats, error) {
 	pol := policy.NewTwoSize(cfg)
 	calc := wss.NewTwoSize(pol)
-	_, err := trace.Drain(r, func(batch []trace.Ref) {
+	_, err := trace.DrainContext(ctx, r, func(batch []trace.Ref) {
 		for _, ref := range batch {
 			calc.Observe(pol.Assign(ref.Addr))
 		}

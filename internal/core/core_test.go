@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -28,7 +29,7 @@ func makeTrace(n, nPages int) []trace.Ref {
 func TestSingleSizeSimulation(t *testing.T) {
 	refs := makeTrace(1000, 4)
 	sim := NewSimulator(policy.NewSingle(addr.Size4K), []tlb.TLB{tlb.NewFullyAssoc(8)})
-	res, err := sim.Run(trace.NewSliceReader(refs))
+	res, err := sim.Run(context.Background(), trace.NewSliceReader(refs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestSingleSizeSimulation(t *testing.T) {
 func TestTwoSizeDefaultsToHigherPenalty(t *testing.T) {
 	pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(100))
 	sim := NewSimulator(pol, []tlb.TLB{tlb.NewFullyAssoc(8)})
-	res, err := sim.Run(trace.NewSliceReader(makeTrace(100, 2)))
+	res, err := sim.Run(context.Background(), trace.NewSliceReader(makeTrace(100, 2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestTwoSizeDefaultsToHigherPenalty(t *testing.T) {
 func TestWithMissPenaltyOverride(t *testing.T) {
 	sim := NewSimulator(policy.NewSingle(addr.Size4K),
 		[]tlb.TLB{tlb.NewFullyAssoc(4)}, WithMissPenalty(40))
-	res, err := sim.Run(trace.NewSliceReader(makeTrace(50, 2)))
+	res, err := sim.Run(context.Background(), trace.NewSliceReader(makeTrace(50, 2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestPromotionInvalidatesSmallEntries(t *testing.T) {
 	}
 	// Re-touch block 0: now on the large page, which is resident → hit.
 	refs = append(refs, trace.Ref{Addr: 0, Kind: trace.Load})
-	res, err := sim.Run(trace.NewSliceReader(refs))
+	res, err := sim.Run(context.Background(), trace.NewSliceReader(refs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestDemotionInvalidatesLargeEntry(t *testing.T) {
 		refs = append(refs, trace.Ref{Addr: addr.VA(100<<addr.ChunkShift) + addr.VA(i*addr.BlockSize), Kind: trace.Load})
 	}
 	refs = append(refs, trace.Ref{Addr: 0, Kind: trace.Load}) // demotes
-	_, err := sim.Run(trace.NewSliceReader(refs))
+	_, err := sim.Run(context.Background(), trace.NewSliceReader(refs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestMultipleTLBsShareOnePass(t *testing.T) {
 	a := tlb.NewFullyAssoc(8)
 	b := tlb.MustNew(tlb.Config{Entries: 32, Ways: 2, Index: tlb.IndexSmall})
 	sim := NewSimulator(policy.NewSingle(addr.Size4K), []tlb.TLB{a, b})
-	res, err := sim.Run(trace.NewSliceReader(refs))
+	res, err := sim.Run(context.Background(), trace.NewSliceReader(refs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestMultipleTLBsShareOnePass(t *testing.T) {
 func TestWithWSSProducesResult(t *testing.T) {
 	pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(500))
 	sim := NewSimulator(pol, []tlb.TLB{tlb.NewFullyAssoc(8)}, WithWSS())
-	res, err := sim.Run(workload.MustNew("li", 50_000))
+	res, err := sim.Run(context.Background(), workload.MustNew("li", 50_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestMeasureStaticWSS(t *testing.T) {
 	// A stream cycling over 4 pages with T covering everything: average
 	// WSS converges to 4 pages (x page size).
 	refs := makeTrace(4000, 4)
-	got, err := MeasureStaticWSS(trace.NewSliceReader(refs), 1<<20, addr.Size4K, addr.Size32K)
+	got, err := MeasureStaticWSS(context.Background(), trace.NewSliceReader(refs), 1<<20, addr.Size4K, addr.Size32K)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,13 +218,13 @@ func TestMeasureStaticWSS(t *testing.T) {
 	if math.Abs(got[1].AvgBytes-want32K) > 0.05*want32K {
 		t.Fatalf("32KB WSS = %v, want ≈%v", got[1].AvgBytes, want32K)
 	}
-	if _, err := MeasureStaticWSS(trace.NewSliceReader(refs), 10, addr.PageSize(3000)); err == nil {
+	if _, err := MeasureStaticWSS(context.Background(), trace.NewSliceReader(refs), 10, addr.PageSize(3000)); err == nil {
 		t.Fatal("invalid page size should error")
 	}
 }
 
 func TestMeasureTwoSizeWSS(t *testing.T) {
-	res, stats, err := MeasureTwoSizeWSS(workload.MustNew("matrix300", 100_000),
+	res, stats, err := MeasureTwoSizeWSS(context.Background(), workload.MustNew("matrix300", 100_000),
 		policy.DefaultTwoSizeConfig(20_000))
 	if err != nil {
 		t.Fatal(err)
@@ -243,7 +244,7 @@ func TestMatrix300Headline(t *testing.T) {
 	const n = 400_000
 	run := func(pol policy.Assigner) float64 {
 		sim := NewSimulator(pol, []tlb.TLB{tlb.NewFullyAssoc(16)})
-		res, err := sim.Run(workload.MustNew("matrix300", n))
+		res, err := sim.Run(context.Background(), workload.MustNew("matrix300", n))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -275,13 +276,13 @@ func (f *failingReader) Read(batch []trace.Ref) (int, error) {
 
 func TestRunPropagatesReaderErrors(t *testing.T) {
 	sim := NewSimulator(policy.NewSingle(addr.Size4K), []tlb.TLB{tlb.NewFullyAssoc(4)})
-	if _, err := sim.Run(&failingReader{n: 5}); err == nil {
+	if _, err := sim.Run(context.Background(), &failingReader{n: 5}); err == nil {
 		t.Fatal("reader error should propagate")
 	}
-	if _, err := MeasureStaticWSS(&failingReader{n: 2}, 10, addr.Size4K); err == nil {
+	if _, err := MeasureStaticWSS(context.Background(), &failingReader{n: 2}, 10, addr.Size4K); err == nil {
 		t.Fatal("WSS pass should propagate reader errors")
 	}
-	if _, _, err := MeasureTwoSizeWSS(&failingReader{n: 2}, policy.DefaultTwoSizeConfig(10)); err == nil {
+	if _, _, err := MeasureTwoSizeWSS(context.Background(), &failingReader{n: 2}, policy.DefaultTwoSizeConfig(10)); err == nil {
 		t.Fatal("two-size WSS pass should propagate reader errors")
 	}
 }

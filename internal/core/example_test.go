@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func ExampleSimulator() {
 	}
 	pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(100))
 	sim := core.NewSimulator(pol, []tlb.TLB{tlb.NewFullyAssoc(8)})
-	res, err := sim.Run(trace.NewSliceReader(refs))
+	res, err := sim.Run(context.Background(), trace.NewSliceReader(refs))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func ExampleMeasureStaticWSS() {
 			trace.Ref{Addr: 0x0000, Kind: trace.Load},
 			trace.Ref{Addr: 0x1000, Kind: trace.Load})
 	}
-	results, err := core.MeasureStaticWSS(trace.NewSliceReader(refs), 1000,
+	results, err := core.MeasureStaticWSS(context.Background(), trace.NewSliceReader(refs), 1000,
 		addr.Size4K, addr.Size32K)
 	if err != nil {
 		log.Fatal(err)

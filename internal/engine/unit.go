@@ -1,0 +1,287 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"twopage/internal/addr"
+	"twopage/internal/core"
+	"twopage/internal/policy"
+	"twopage/internal/tlb"
+	"twopage/internal/workload"
+	"twopage/internal/wss"
+)
+
+// PolicySpec declaratively describes a page-size assignment policy, so
+// that a simulation pass can be keyed and memoized. Exactly one of the
+// two forms is used: Single (nonzero) selects the fixed-size baseline,
+// otherwise Two selects the paper's dynamic policy.
+type PolicySpec struct {
+	// Single, when nonzero, is the fixed page size.
+	Single addr.PageSize
+	// Two is the dynamic two-size configuration used when Single is
+	// zero. Its DenyPromotion hook must be nil: a function cannot be
+	// part of a memoization key (use an opaque Go task for veto
+	// policies).
+	Two policy.TwoSizeConfig
+}
+
+// SinglePolicy returns the spec for the fixed-size policy.
+func SinglePolicy(size addr.PageSize) PolicySpec { return PolicySpec{Single: size} }
+
+// TwoSizePolicy returns the spec for the dynamic two-size policy.
+func TwoSizePolicy(cfg policy.TwoSizeConfig) PolicySpec { return PolicySpec{Two: cfg} }
+
+// New instantiates the policy.
+func (p PolicySpec) New() (policy.Assigner, error) {
+	if p.Single != 0 {
+		if !p.Single.Valid() {
+			return nil, fmt.Errorf("engine: invalid page size %d", p.Single)
+		}
+		return policy.NewSingle(p.Single), nil
+	}
+	if p.Two.DenyPromotion != nil {
+		return nil, fmt.Errorf("engine: DenyPromotion hooks cannot be memoized; use an opaque task")
+	}
+	if p.Two.T <= 0 {
+		return nil, fmt.Errorf("engine: two-size policy needs T > 0")
+	}
+	return policy.NewTwoSize(p.Two), nil
+}
+
+func (p PolicySpec) key() string {
+	if p.Single != 0 {
+		return fmt.Sprintf("single:%d", p.Single)
+	}
+	return fmt.Sprintf("two:T=%d,thr=%d,dem=%t,ls=%d",
+		p.Two.T, p.Two.Threshold, p.Two.Demote, p.Two.LargeShift)
+}
+
+// Unit is one memoizable unit of simulation work: one workload trace
+// driven through one policy and at most one TLB configuration. Units
+// are the scheduling and deduplication granularity of the engine —
+// experiments that share a (workload, refs, policy, TLB-config) tuple
+// simulate it once per Engine, no matter how their multi-TLB passes
+// were originally grouped.
+type Unit struct {
+	// Workload is the registered program name (workload.Get).
+	Workload string
+	// Refs is the trace length.
+	Refs uint64
+	// Policy assigns page sizes.
+	Policy PolicySpec
+	// TLB is the simulated TLB configuration; nil means a policy/WSS
+	// pass with no TLB.
+	TLB *tlb.Config
+	// WSS attaches the two-page working-set calculator (requires a
+	// two-size policy).
+	WSS bool
+}
+
+// Key returns the memoization key. TLB configurations are normalized
+// first so equivalent spellings (Ways 0 vs Ways == Entries, default
+// shifts) share a unit.
+func (u Unit) Key() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "w=%s refs=%d pol=%s wss=%t", u.Workload, u.Refs, u.Policy.key(), u.WSS)
+	if u.TLB != nil {
+		cfg, err := u.TLB.Normalized()
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, " tlb=e%d.w%d.ix%d.r%d.s%d.l%d.seed%d",
+			cfg.Entries, cfg.Ways, cfg.Index, cfg.Repl, cfg.SmallShift, cfg.LargeShift, cfg.Seed)
+	}
+	return b.String(), nil
+}
+
+// run executes the unit. The returned Result has exactly one TLBResult
+// when u.TLB is set, none otherwise.
+func (u Unit) run(ctx context.Context) (*core.Result, error) {
+	s, err := workload.Get(u.Workload)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := u.Policy.New()
+	if err != nil {
+		return nil, err
+	}
+	var tlbs []tlb.TLB
+	if u.TLB != nil {
+		t, err := tlb.New(*u.TLB)
+		if err != nil {
+			return nil, err
+		}
+		tlbs = []tlb.TLB{t}
+	}
+	var opts []core.Option
+	if u.WSS {
+		opts = append(opts, core.WithWSS())
+	}
+	sim := core.NewSimulator(pol, tlbs, opts...)
+	return sim.Run(ctx, s.New(u.Refs))
+}
+
+// PassSpec describes a pass of one policy over one workload trace
+// against any number of TLB configurations. The engine decomposes it
+// into single-TLB Units so different experiments sharing any unit share
+// the work, and merges the unit results back into one core.Result with
+// the TLBs in the requested order.
+type PassSpec struct {
+	Workload string
+	Refs     uint64
+	Policy   PolicySpec
+	// TLBs are the simulated configurations, in result order.
+	TLBs []tlb.Config
+	// WSS attaches the two-page working-set calculator.
+	WSS bool
+}
+
+// Units returns the spec's decomposition into memoizable units. A spec
+// with no TLBs is a single policy/WSS-only unit; the WSS calculator
+// rides on the first unit only (its result is independent of the TLB).
+func (p PassSpec) Units() []Unit {
+	if len(p.TLBs) == 0 {
+		return []Unit{{Workload: p.Workload, Refs: p.Refs, Policy: p.Policy, WSS: p.WSS}}
+	}
+	units := make([]Unit, len(p.TLBs))
+	for i := range p.TLBs {
+		cfg := p.TLBs[i]
+		units[i] = Unit{
+			Workload: p.Workload,
+			Refs:     p.Refs,
+			Policy:   p.Policy,
+			TLB:      &cfg,
+			WSS:      p.WSS && i == 0,
+		}
+	}
+	return units
+}
+
+// Pass submits the spec's units to the pool and returns a future of the
+// merged result. Units already computed (or in flight) for this Engine
+// are shared, not re-simulated. The merged Result must be treated as
+// read-only: its TLB entries may be shared with other passes.
+func (e *Engine) Pass(ctx context.Context, spec PassSpec) *Future[*core.Result] {
+	units := spec.Units()
+	futs := make([]*Future[*core.Result], len(units))
+	for i, u := range units {
+		u := u
+		key, err := u.Key()
+		if err != nil {
+			futs[i] = resolved[*core.Result](nil, err)
+			continue
+		}
+		futs[i] = keyed(e, ctx, key, u.run)
+	}
+	merged := newFuture[*core.Result]()
+	go func() {
+		defer close(merged.done)
+		parts, err := collect(ctx, futs).Wait(ctx)
+		if err != nil {
+			merged.err = err
+			return
+		}
+		merged.val = mergeParts(parts)
+	}()
+	return merged
+}
+
+// mergeParts reassembles single-TLB unit results into one Result in
+// unit order. Policy-side fields are identical across units (same
+// trace, same policy); they are taken from the first.
+func mergeParts(parts []*core.Result) *core.Result {
+	out := &core.Result{
+		Policy: parts[0].Policy,
+		Refs:   parts[0].Refs,
+		Instrs: parts[0].Instrs,
+		RPI:    parts[0].RPI,
+	}
+	for _, p := range parts {
+		out.TLBs = append(out.TLBs, p.TLBs...)
+		if out.WSS == nil && p.WSS != nil {
+			out.WSS = p.WSS
+		}
+		if out.PolicyStats == nil && p.PolicyStats != nil {
+			out.PolicyStats = p.PolicyStats
+		}
+	}
+	return out
+}
+
+// StaticShifts is the canonical page-shift ladder measured by StaticWSS
+// units: 4KB, 8KB, 16KB, 32KB, 64KB. Measuring the whole ladder in one
+// pass costs a few counters per reference and lets every working-set
+// experiment share one unit per (workload, refs, T).
+var StaticShifts = []uint{addr.Shift4K, addr.Shift8K, addr.Shift16K, addr.Shift32K, addr.Shift64K}
+
+// StaticIndex returns the index of shift in StaticShifts, or -1.
+func StaticIndex(shift uint) int {
+	for i, s := range StaticShifts {
+		if s == shift {
+			return i
+		}
+	}
+	return -1
+}
+
+// StaticWSSUnit is a memoizable static working-set pass over one
+// workload trace, measuring all of StaticShifts at window T.
+type StaticWSSUnit struct {
+	Workload string
+	Refs     uint64
+	T        uint64
+}
+
+// StaticWSS submits the unit, returning average working-set results
+// indexed as StaticShifts. Results are shared; treat as read-only.
+func (e *Engine) StaticWSS(ctx context.Context, u StaticWSSUnit) *Future[[]wss.Result] {
+	key := fmt.Sprintf("wss-static w=%s refs=%d T=%d", u.Workload, u.Refs, u.T)
+	return keyed(e, ctx, key, func(ctx context.Context) ([]wss.Result, error) {
+		s, err := workload.Get(u.Workload)
+		if err != nil {
+			return nil, err
+		}
+		sizes := make([]addr.PageSize, len(StaticShifts))
+		for i, sh := range StaticShifts {
+			sizes[i] = addr.PageSize(1) << sh
+		}
+		return core.MeasureStaticWSS(ctx, s.New(u.Refs), u.T, sizes...)
+	})
+}
+
+// TwoWSS couples the dynamic scheme's working-set result with the
+// policy counters of the pass that produced it.
+type TwoWSS struct {
+	WSS   wss.Result
+	Stats policy.TwoSizeStats
+}
+
+// TwoSizeWSSUnit is a memoizable working-set pass of the dynamic
+// two-size policy over one workload trace (no TLBs).
+type TwoSizeWSSUnit struct {
+	Workload string
+	Refs     uint64
+	Cfg      policy.TwoSizeConfig
+}
+
+// TwoSizeWSS submits the unit. The configuration's DenyPromotion hook
+// must be nil (see PolicySpec).
+func (e *Engine) TwoSizeWSS(ctx context.Context, u TwoSizeWSSUnit) *Future[TwoWSS] {
+	key := fmt.Sprintf("wss-two w=%s refs=%d pol=%s", u.Workload, u.Refs, TwoSizePolicy(u.Cfg).key())
+	return keyed(e, ctx, key, func(ctx context.Context) (TwoWSS, error) {
+		if u.Cfg.DenyPromotion != nil {
+			return TwoWSS{}, fmt.Errorf("engine: DenyPromotion hooks cannot be memoized")
+		}
+		s, err := workload.Get(u.Workload)
+		if err != nil {
+			return TwoWSS{}, err
+		}
+		res, stats, err := core.MeasureTwoSizeWSS(ctx, s.New(u.Refs), u.Cfg)
+		if err != nil {
+			return TwoWSS{}, err
+		}
+		return TwoWSS{WSS: res, Stats: stats}, nil
+	})
+}

@@ -1,17 +1,29 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"twopage/internal/addr"
 	"twopage/internal/allassoc"
+	"twopage/internal/engine"
 	"twopage/internal/metrics"
 	"twopage/internal/policy"
 	"twopage/internal/tableio"
 	"twopage/internal/tlb"
 	"twopage/internal/trace"
 )
+
+// designSpaceRow is one workload's sweep outcome. The timing ratio is
+// measured inside a single task so both the sweep and the direct pass
+// run on the same goroutine back to back — scheduling other workloads
+// around it does not distort the comparison.
+type designSpaceRow struct {
+	configs int
+	cells   [4]string
+	ratio   float64
+}
 
 // DesignSpace reproduces the paper's methodological claim (Section 3.3):
 // using all-associativity simulation "it was possible to simulate many
@@ -21,71 +33,84 @@ import (
 // 1..8 (out of which 84+ distinct single-page-size configurations
 // fall), and the wall-clock ratio against one direct simulation is
 // reported alongside a slice of the resulting design-space grid.
-func DesignSpace(o Options) (*tableio.Table, error) {
-	o = o.normalized()
+func DesignSpace(ctx context.Context, o *Options) (*tableio.Table, error) {
 	specs, err := o.ablationSpecs()
 	if err != nil {
 		return nil, err
 	}
 	setCounts := []int{1, 2, 4, 8, 16, 32}
 	const maxWays = 16 // 6 set counts x 16 ways = 96 configurations
+	futs := make([]*engine.Future[designSpaceRow], len(specs))
+	for i, s := range specs {
+		s := s
+		refs := refsFor(s, o.Scale)
+		futs[i] = engine.Go(o.Engine, ctx, "designspace "+s.Name,
+			func(ctx context.Context) (designSpaceRow, error) {
+				// One-pass sweep over the whole design space.
+				sw, err := allassoc.NewSweep(setCounts, addr.Shift4K, maxWays)
+				if err != nil {
+					return designSpaceRow{}, err
+				}
+				var instrs uint64
+				startSweep := time.Now()
+				if err := drainInto(ctx, s.New(refs), func(batch []trace.Ref) {
+					for _, ref := range batch {
+						if ref.Kind == trace.Instr {
+							instrs++
+						}
+						sw.Access(ref.Addr)
+					}
+				}); err != nil {
+					return designSpaceRow{}, err
+				}
+				sweepTime := time.Since(startSweep)
+
+				// One comparable direct simulation (a single 16-entry FA TLB).
+				direct := tlb.NewFullyAssoc(16)
+				pol := policy.NewSingle(addr.Size4K)
+				startDirect := time.Now()
+				if err := drainInto(ctx, s.New(refs), func(batch []trace.Ref) {
+					for _, ref := range batch {
+						res := pol.Assign(ref.Addr)
+						direct.Access(ref.Addr, res.Page)
+					}
+				}); err != nil {
+					return designSpaceRow{}, err
+				}
+				directTime := time.Since(startDirect)
+
+				// Cross-check one point of the grid against the direct run.
+				m16, err := sw.Misses(1, 16)
+				if err == nil && m16 != direct.Stats().Misses() {
+					return designSpaceRow{}, fmt.Errorf("designspace: sweep FA16 misses %d != direct %d",
+						m16, direct.Stats().Misses())
+				}
+
+				cpi := func(sets, ways int) string {
+					m, err := sw.Misses(sets, ways)
+					if err != nil {
+						return "-"
+					}
+					return tableio.F(metrics.CPITLB(m, instrs, metrics.MissPenaltySingle), 3)
+				}
+				return designSpaceRow{
+					configs: len(sw.Results()),
+					cells:   [4]string{cpi(1, 8), cpi(1, 16), cpi(8, 4), cpi(32, 2)},
+					ratio:   float64(sweepTime) / float64(directTime),
+				}, nil
+			})
+	}
 	tbl := tableio.New("Extension: one-pass design-space sweep (CPI_TLB at 4KB pages)",
 		"Program", "Configs", "8e", "16e", "32e", "64e(2w)", "sweep/direct time")
-	for _, s := range specs {
-		refs := refsFor(s, o.Scale)
-
-		// One-pass sweep over the whole design space.
-		sw, err := allassoc.NewSweep(setCounts, addr.Shift4K, maxWays)
+	for i, s := range specs {
+		row, err := futs[i].Wait(ctx)
 		if err != nil {
 			return nil, err
 		}
-		var instrs uint64
-		startSweep := time.Now()
-		if err := drainInto(s.New(refs), func(batch []trace.Ref) {
-			for _, ref := range batch {
-				if ref.Kind == trace.Instr {
-					instrs++
-				}
-				sw.Access(ref.Addr)
-			}
-		}); err != nil {
-			return nil, err
-		}
-		sweepTime := time.Since(startSweep)
-
-		// One comparable direct simulation (a single 16-entry FA TLB).
-		direct := tlb.NewFullyAssoc(16)
-		pol := policy.NewSingle(addr.Size4K)
-		startDirect := time.Now()
-		if err := drainInto(s.New(refs), func(batch []trace.Ref) {
-			for _, ref := range batch {
-				res := pol.Assign(ref.Addr)
-				direct.Access(ref.Addr, res.Page)
-			}
-		}); err != nil {
-			return nil, err
-		}
-		directTime := time.Since(startDirect)
-
-		// Cross-check one point of the grid against the direct run.
-		m16, err := sw.Misses(1, 16)
-		if err == nil && m16 != direct.Stats().Misses() {
-			return nil, fmt.Errorf("designspace: sweep FA16 misses %d != direct %d",
-				m16, direct.Stats().Misses())
-		}
-
-		cpi := func(sets, ways int) string {
-			m, err := sw.Misses(sets, ways)
-			if err != nil {
-				return "-"
-			}
-			return tableio.F(metrics.CPITLB(m, instrs, metrics.MissPenaltySingle), 3)
-		}
-		ratio := float64(sweepTime) / float64(directTime)
 		tbl.Row(s.Name,
-			fmt.Sprintf("%d", len(sw.Results())),
-			cpi(1, 8), cpi(1, 16), cpi(8, 4), cpi(32, 2),
-			fmt.Sprintf("%.1fx", ratio))
+			fmt.Sprintf("%d", row.configs),
+			row.cells[0], row.cells[1], row.cells[2], row.cells[3],
+			fmt.Sprintf("%.1fx", row.ratio))
 	}
 	tbl.Note("Paper: 84 configurations in one pass at ~2x the cost of one direct simulation (Section 3.3).")
 	return tbl, nil

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"twopage/internal/addr"
 	"twopage/internal/allassoc"
 	"twopage/internal/core"
+	"twopage/internal/engine"
 	"twopage/internal/metrics"
 	"twopage/internal/multiprog"
 	"twopage/internal/policy"
@@ -24,15 +26,27 @@ var multiprogMixes = map[int][]string{
 	4: {"li", "x11perf", "espresso", "eqntott"},
 }
 
+// multiprogRun is one (degree, mode, policy) simulation's outcome.
+type multiprogRun struct {
+	cpis     [2]float64 // FA16, FA64
+	switches uint64
+}
+
 // Multiprog evaluates the effect the paper could not measure: TLB
 // behaviour under multiprogramming, with ASID-tagged entries versus
 // flush-on-context-switch, for the 4KB baseline and the two-page
-// scheme, on 16- and 64-entry fully associative TLBs.
-func Multiprog(o Options) (*tableio.Table, error) {
-	o = o.normalized()
-	tbl := tableio.New("Extension: multiprogramming (CPI_TLB, fully associative TLBs)",
-		"Degree", "Mode", "4KB FA16", "4KB FA64", "4K/32K FA16", "4K/32K FA64", "switches")
-	for _, degree := range []int{1, 2, 4} {
+// scheme, on 16- and 64-entry fully associative TLBs. Each
+// (degree, mode, policy) combination is one opaque task; the scheduler
+// interleaves them freely because rows are assembled afterwards in
+// fixed order.
+func Multiprog(ctx context.Context, o *Options) (*tableio.Table, error) {
+	degrees := []int{1, 2, 4}
+	type cell struct {
+		futs [2]*engine.Future[multiprogRun] // per policy: 4KB, two-page
+	}
+	cells := map[int]map[bool]*cell{}
+	for _, degree := range degrees {
+		degree := degree
 		mix := multiprogMixes[degree]
 		// Per-process length shrinks with degree so each row simulates
 		// comparable total work.
@@ -51,52 +65,75 @@ func Multiprog(o Options) (*tableio.Table, error) {
 		}
 		T := windowFor(perProc * uint64(degree))
 
+		cells[degree] = map[bool]*cell{}
+		for _, flush := range []bool{false, true} {
+			flush := flush
+			c := &cell{}
+			for pi, two := range []bool{false, true} {
+				two := two
+				label := fmt.Sprintf("multiprog d=%d flush=%t two=%t", degree, flush, two)
+				c.futs[pi] = engine.Go(o.Engine, ctx, label,
+					func(ctx context.Context) (multiprogRun, error) {
+						var pol policy.Assigner
+						if two {
+							pol = policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))
+						} else {
+							pol = policy.NewSingle(addr.Size4K)
+						}
+						tlbs := []tlb.TLB{tlb.NewFullyAssoc(16), tlb.NewFullyAssoc(64)}
+						procs := make([]multiprog.Process, degree)
+						for i, name := range mix {
+							s, err := workload.Get(name)
+							if err != nil {
+								return multiprogRun{}, err
+							}
+							procs[i] = multiprog.Process{Name: name, Source: s.New(perProc)}
+						}
+						mp, err := multiprog.New(procs, quantum)
+						if err != nil {
+							return multiprogRun{}, err
+						}
+						if flush {
+							mp.OnSwitch = func(from, to int) {
+								for _, t := range tlbs {
+									t.Flush()
+								}
+							}
+						}
+						res, err := core.NewSimulator(pol, tlbs).Run(ctx, mp)
+						if err != nil {
+							return multiprogRun{}, err
+						}
+						return multiprogRun{
+							cpis:     [2]float64{res.TLBs[0].CPITLB, res.TLBs[1].CPITLB},
+							switches: mp.Switches(),
+						}, nil
+					})
+			}
+			cells[degree][flush] = c
+		}
+	}
+	tbl := tableio.New("Extension: multiprogramming (CPI_TLB, fully associative TLBs)",
+		"Degree", "Mode", "4KB FA16", "4KB FA64", "4K/32K FA16", "4K/32K FA64", "switches")
+	for _, degree := range degrees {
 		for _, flush := range []bool{false, true} {
 			mode := "asid"
 			if flush {
 				mode = "flush"
 			}
-			var cpis []float64
-			var switches uint64
-			for _, two := range []bool{false, true} {
-				var pol policy.Assigner
-				if two {
-					pol = policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))
-				} else {
-					pol = policy.NewSingle(addr.Size4K)
-				}
-				tlbs := []tlb.TLB{tlb.NewFullyAssoc(16), tlb.NewFullyAssoc(64)}
-				procs := make([]multiprog.Process, degree)
-				for i, name := range mix {
-					s, err := workload.Get(name)
-					if err != nil {
-						return nil, err
-					}
-					procs[i] = multiprog.Process{Name: name, Source: s.New(perProc)}
-				}
-				mp, err := multiprog.New(procs, quantum)
-				if err != nil {
-					return nil, err
-				}
-				if flush {
-					mp.OnSwitch = func(from, to int) {
-						for _, t := range tlbs {
-							t.Flush()
-						}
-					}
-				}
-				sim := core.NewSimulator(pol, tlbs)
-				res, err := sim.Run(mp)
-				if err != nil {
-					return nil, err
-				}
-				cpis = append(cpis, res.TLBs[0].CPITLB, res.TLBs[1].CPITLB)
-				switches = mp.Switches()
+			c := cells[degree][flush]
+			r4, err := c.futs[0].Wait(ctx)
+			if err != nil {
+				return nil, err
+			}
+			r2, err := c.futs[1].Wait(ctx)
+			if err != nil {
+				return nil, err
 			}
 			tbl.Row(fmt.Sprintf("%d", degree), mode,
-				tableio.F(cpis[0], 3), tableio.F(cpis[1], 3),
-				tableio.F(cpis[2], 3), tableio.F(cpis[3], 3),
-				fmt.Sprintf("%d", switches))
+				tableio.F(r4.cpis[0], 3), tableio.F(r4.cpis[1], 3),
+				tableio.F(r2.cpis[0], 3), tableio.F(r2.cpis[1], 3),
+				fmt.Sprintf("%d", r2.switches))
 		}
 	}
 	tbl.Note("ASID mode tags entries per address space; flush mode empties the TLB at every switch.")
@@ -104,43 +141,64 @@ func Multiprog(o Options) (*tableio.Table, error) {
 	return tbl, nil
 }
 
+// tlbSweepRow carries one workload's all-associativity miss curves.
+type tlbSweepRow struct {
+	instrs   uint64
+	m4, m32  []uint64
+}
+
 // TLBSweep uses all-associativity simulation to sweep fully associative
 // TLB sizes 8..128 for 4KB and 32KB pages — quantifying the Section 5
 // remark that the paper had to stay below 64 entries because "large
 // TLBs in combination with large pages have negligible miss rates".
-func TLBSweep(o Options) (*tableio.Table, error) {
-	o = o.normalized()
+func TLBSweep(ctx context.Context, o *Options) (*tableio.Table, error) {
 	specs, err := o.specs()
 	if err != nil {
 		return nil, err
 	}
 	const maxWays = 128
 	entries := []int{8, 16, 32, 64, 128}
+	futs := make([]*engine.Future[tlbSweepRow], len(specs))
+	for i, s := range specs {
+		s := s
+		refs := refsFor(s, o.Scale)
+		futs[i] = engine.Go(o.Engine, ctx, "tlbsweep "+s.Name,
+			func(ctx context.Context) (tlbSweepRow, error) {
+				sim4 := allassoc.MustNew(1, addr.Shift4K, maxWays)
+				sim32 := allassoc.MustNew(1, addr.Shift32K, maxWays)
+				var row tlbSweepRow
+				if err := drainInto(ctx, s.New(refs), func(batch []trace.Ref) {
+					for _, ref := range batch {
+						if ref.Kind == trace.Instr {
+							row.instrs++
+						}
+						sim4.Access(ref.Addr)
+						sim32.Access(ref.Addr)
+					}
+				}); err != nil {
+					return tlbSweepRow{}, err
+				}
+				for _, e := range entries {
+					row.m4 = append(row.m4, sim4.Misses(e))
+					row.m32 = append(row.m32, sim32.Misses(e))
+				}
+				return row, nil
+			})
+	}
 	tbl := tableio.New("Extension: CPI_TLB vs fully associative TLB size (all-associativity pass)",
 		"Program", "Pages", "8", "16", "32", "64", "128")
-	for _, s := range specs {
-		refs := refsFor(s, o.Scale)
-		sim4 := allassoc.MustNew(1, addr.Shift4K, maxWays)
-		sim32 := allassoc.MustNew(1, addr.Shift32K, maxWays)
-		var instrs uint64
-		if err := drainInto(s.New(refs), func(batch []trace.Ref) {
-			for _, ref := range batch {
-				if ref.Kind == trace.Instr {
-					instrs++
-				}
-				sim4.Access(ref.Addr)
-				sim32.Access(ref.Addr)
-			}
-		}); err != nil {
+	for i, s := range specs {
+		res, err := futs[i].Wait(ctx)
+		if err != nil {
 			return nil, err
 		}
 		for _, pair := range []struct {
-			label string
-			sim   *allassoc.Sim
-		}{{"4KB", sim4}, {"32KB", sim32}} {
+			label  string
+			misses []uint64
+		}{{"4KB", res.m4}, {"32KB", res.m32}} {
 			row := []string{s.Name, pair.label}
-			for _, e := range entries {
-				cpi := metrics.CPITLB(pair.sim.Misses(e), instrs, metrics.MissPenaltySingle)
+			for j := range entries {
+				cpi := metrics.CPITLB(pair.misses[j], res.instrs, metrics.MissPenaltySingle)
 				row = append(row, tableio.F(cpi, 3))
 			}
 			tbl.Row(row...)

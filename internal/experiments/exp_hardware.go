@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
+
 	"twopage/internal/addr"
 	"twopage/internal/cache"
 	"twopage/internal/core"
+	"twopage/internal/engine"
 	"twopage/internal/metrics"
 	"twopage/internal/policy"
 	"twopage/internal/tableio"
@@ -12,48 +15,69 @@ import (
 	"twopage/internal/trace"
 )
 
+// cacheTLBStats carries one workload's cache/TLB interaction counters.
+type cacheTLBStats struct {
+	l1Miss       float64
+	cpiP, cpiV   float64
+	savedPercent float64
+}
+
 // CacheTLB quantifies the Section 1 argument that L1 tagging dictates
 // TLB pressure: with physical tags every reference consults the TLB;
 // with virtual tags only L1 misses do. One pass per workload drives a
 // 64KB L1 model and two identical TLBs — one fed every reference, one
 // fed only the cache-miss stream.
-func CacheTLB(o Options) (*tableio.Table, error) {
-	o = o.normalized()
+func CacheTLB(ctx context.Context, o *Options) (*tableio.Table, error) {
 	specs, err := o.specs()
 	if err != nil {
 		return nil, err
 	}
+	futs := make([]*engine.Future[cacheTLBStats], len(specs))
+	for i, s := range specs {
+		s := s
+		refs := refsFor(s, o.Scale)
+		futs[i] = engine.Go(o.Engine, ctx, "cachetlb "+s.Name,
+			func(ctx context.Context) (cacheTLBStats, error) {
+				l1 := cache.MustNew(cache.Config{Size: 64 << 10, Block: 32, Ways: 2})
+				phys := tlb.NewFullyAssoc(16)
+				virt := tlb.NewFullyAssoc(16)
+				pol := policy.NewSingle(addr.Size4K)
+				var instrs uint64
+				if err := drainInto(ctx, s.New(refs), func(batch []trace.Ref) {
+					for _, ref := range batch {
+						if ref.Kind == trace.Instr {
+							instrs++
+						}
+						res := pol.Assign(ref.Addr)
+						phys.Access(ref.Addr, res.Page)
+						if !l1.Access(ref.Addr) {
+							virt.Access(ref.Addr, res.Page)
+						}
+					}
+				}); err != nil {
+					return cacheTLBStats{}, err
+				}
+				return cacheTLBStats{
+					l1Miss: 100 * l1.Stats().MissRatio(),
+					cpiP:   metrics.CPITLB(phys.Stats().Misses(), instrs, metrics.MissPenaltySingle),
+					cpiV:   metrics.CPITLB(virt.Stats().Misses(), instrs, metrics.MissPenaltySingle),
+					savedPercent: 100 * (1 -
+						float64(virt.Stats().Accesses)/float64(phys.Stats().Accesses)),
+				}, nil
+			})
+	}
 	tbl := tableio.New("Extension: L1 tagging vs TLB pressure (16-entry FA TLB, 4KB pages)",
 		"Program", "L1 miss%", "CPI phys-tag", "CPI virt-tag", "TLB accesses saved")
-	for _, s := range specs {
-		refs := refsFor(s, o.Scale)
-		l1 := cache.MustNew(cache.Config{Size: 64 << 10, Block: 32, Ways: 2})
-		phys := tlb.NewFullyAssoc(16)
-		virt := tlb.NewFullyAssoc(16)
-		pol := policy.NewSingle(addr.Size4K)
-		var instrs uint64
-		if err := drainInto(s.New(refs), func(batch []trace.Ref) {
-			for _, ref := range batch {
-				if ref.Kind == trace.Instr {
-					instrs++
-				}
-				res := pol.Assign(ref.Addr)
-				phys.Access(ref.Addr, res.Page)
-				if !l1.Access(ref.Addr) {
-					virt.Access(ref.Addr, res.Page)
-				}
-			}
-		}); err != nil {
+	for i, s := range specs {
+		st, err := futs[i].Wait(ctx)
+		if err != nil {
 			return nil, err
 		}
-		cpiP := metrics.CPITLB(phys.Stats().Misses(), instrs, metrics.MissPenaltySingle)
-		cpiV := metrics.CPITLB(virt.Stats().Misses(), instrs, metrics.MissPenaltySingle)
-		saved := 1 - float64(virt.Stats().Accesses)/float64(phys.Stats().Accesses)
 		tbl.Row(s.Name,
-			tableio.F(100*l1.Stats().MissRatio(), 1),
-			tableio.F(cpiP, 3),
-			tableio.F(cpiV, 3),
-			tableio.F(100*saved, 0)+"%")
+			tableio.F(st.l1Miss, 1),
+			tableio.F(st.cpiP, 3),
+			tableio.F(st.cpiV, 3),
+			tableio.F(st.savedPercent, 0)+"%")
 	}
 	tbl.Note("Virtual tags consult the TLB only on L1 misses (Section 1), so a much larger TLB becomes feasible.")
 	return tbl, nil
@@ -62,41 +86,43 @@ func CacheTLB(o Options) (*tableio.Table, error) {
 // Conflict evaluates the conflict-mitigation hardware the paper's
 // conclusion gestures at (avoiding designs that require full
 // associativity): a victim buffer and next-page prefetching behind a
-// 16-entry two-way exact-index TLB, under the two-page policy.
-func Conflict(o Options) (*tableio.Table, error) {
-	o = o.normalized()
+// 16-entry two-way exact-index TLB, under the two-page policy. The
+// augmented TLBs (tlbx) are not expressible as a plain tlb.Config, so
+// each workload runs as one opaque task driving all four organizations.
+func Conflict(ctx context.Context, o *Options) (*tableio.Table, error) {
 	specs, err := o.ablationSpecs()
 	if err != nil {
 		return nil, err
 	}
-	tbl := tableio.New("Extension: conflict mitigation for two-page set-associative TLBs (CPI_TLB)",
-		"Program", "2-way exact", "+4-entry victim", "+prefetch", "fully assoc")
-	for _, s := range specs {
+	futs := make([]*engine.Future[*core.Result], len(specs))
+	for i, s := range specs {
+		s := s
 		refs := refsFor(s, o.Scale)
 		T := windowFor(refs)
-		mkTLBs := func() ([]tlb.TLB, error) {
-			vict, err := tlbx.NewVictim(tlb.Config{Entries: 16, Ways: 2, Index: tlb.IndexExact}, 4)
-			if err != nil {
-				return nil, err
-			}
-			pf, err := tlbx.NewPrefetch(tlb.Config{Entries: 16, Ways: 2, Index: tlb.IndexExact})
-			if err != nil {
-				return nil, err
-			}
-			return []tlb.TLB{
-				twoWay(16, tlb.IndexExact),
-				vict,
-				pf,
-				tlb.NewFullyAssoc(16),
-			}, nil
-		}
-		tlbs, err := mkTLBs()
-		if err != nil {
-			return nil, err
-		}
-		pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))
-		sim := core.NewSimulator(pol, tlbs)
-		res, err := sim.Run(s.New(refs))
+		futs[i] = engine.Go(o.Engine, ctx, "conflict "+s.Name,
+			func(ctx context.Context) (*core.Result, error) {
+				vict, err := tlbx.NewVictim(tlb.Config{Entries: 16, Ways: 2, Index: tlb.IndexExact}, 4)
+				if err != nil {
+					return nil, err
+				}
+				pf, err := tlbx.NewPrefetch(tlb.Config{Entries: 16, Ways: 2, Index: tlb.IndexExact})
+				if err != nil {
+					return nil, err
+				}
+				tlbs := []tlb.TLB{
+					twoWay(16, tlb.IndexExact),
+					vict,
+					pf,
+					tlb.NewFullyAssoc(16),
+				}
+				pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))
+				return core.NewSimulator(pol, tlbs).Run(ctx, s.New(refs))
+			})
+	}
+	tbl := tableio.New("Extension: conflict mitigation for two-page set-associative TLBs (CPI_TLB)",
+		"Program", "2-way exact", "+4-entry victim", "+prefetch", "fully assoc")
+	for i, s := range specs {
+		res, err := futs[i].Wait(ctx)
 		if err != nil {
 			return nil, err
 		}

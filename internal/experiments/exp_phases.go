@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"twopage/internal/addr"
+	"twopage/internal/engine"
 	"twopage/internal/policy"
 	"twopage/internal/tableio"
 	"twopage/internal/trace"
@@ -32,6 +35,12 @@ uniform  base=64M size=64K align=8 weight=0.4
 	return trace.NewConcat(dense, sparse)
 }
 
+// phasesRun is one policy variant's outcome on the phased program.
+type phasesRun struct {
+	cpi, avgWSS     float64
+	promos, demos   uint64
+}
+
 // Phases compares the dynamic policy with and without demotion, and the
 // cumulative promote-once policy, on the phased program. The paper
 // assigns page sizes "dynamically during the simulation, looking at the
@@ -40,40 +49,54 @@ uniform  base=64M size=64K align=8 weight=0.4
 // revisits demote those chunks and the working set shrinks back, while
 // promote-forever policies keep paying 32KB per chunk for a handful of
 // live blocks.
-func Phases(o Options) (*tableio.Table, error) {
-	o = o.normalized()
+func Phases(ctx context.Context, o *Options) (*tableio.Table, error) {
 	refsPerPhase := refsFor(workload.Spec{DefaultRefs: 3_000_000}, o.Scale)
 	T := windowFor(refsPerPhase)
 
-	demoteOff := policy.DefaultTwoSizeConfig(T)
-	demoteOff.Demote = false
-	variants := []struct {
-		name string
-		pol  largenessOracle
-	}{
-		{"dynamic (demote on)", policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))},
-		{"dynamic (demote off)", policy.NewTwoSize(demoteOff)},
-		{"cumulative", policy.NewCumulative(policy.CumulativeConfig{Threshold: addr.BlocksPerChunk / 2})},
+	names := []string{"dynamic (demote on)", "dynamic (demote off)", "cumulative"}
+	mkPol := []func() largenessOracle{
+		func() largenessOracle { return policy.NewTwoSize(policy.DefaultTwoSizeConfig(T)) },
+		func() largenessOracle {
+			demoteOff := policy.DefaultTwoSizeConfig(T)
+			demoteOff.Demote = false
+			return policy.NewTwoSize(demoteOff)
+		},
+		func() largenessOracle {
+			return policy.NewCumulative(policy.CumulativeConfig{Threshold: addr.BlocksPerChunk / 2})
+		},
+	}
+	futs := make([]*engine.Future[phasesRun], len(mkPol))
+	for i, mk := range mkPol {
+		mk := mk
+		futs[i] = engine.Go(o.Engine, ctx, "phases "+names[i],
+			func(ctx context.Context) (phasesRun, error) {
+				pol := mk()
+				cpi, avgWSS, _, err := runPolicyVariantOn(ctx, phasedSource(refsPerPhase), pol, T)
+				if err != nil {
+					return phasesRun{}, err
+				}
+				var st policy.TwoSizeStats
+				switch p := pol.(type) {
+				case *policy.TwoSize:
+					st = p.Stats()
+				case *policy.Cumulative:
+					st = p.Stats()
+				}
+				return phasesRun{cpi: cpi, avgWSS: avgWSS, promos: st.Promotions, demos: st.Demotions}, nil
+			})
 	}
 	tbl := tableio.New("Extension: phased program (dense region later revisited sparsely), 16-entry FA",
 		"Policy", "CPI_TLB", "avg WSS", "promos", "demos")
-	for _, v := range variants {
-		cpi, avgWSS, _, err := runPolicyVariantOn(phasedSource(refsPerPhase), v.pol, T)
+	for i, name := range names {
+		run, err := futs[i].Wait(ctx)
 		if err != nil {
 			return nil, err
 		}
-		var st policy.TwoSizeStats
-		switch p := v.pol.(type) {
-		case *policy.TwoSize:
-			st = p.Stats()
-		case *policy.Cumulative:
-			st = p.Stats()
-		}
-		tbl.Row(v.name,
-			tableio.F(cpi, 3),
-			tableio.F(avgWSS/(1<<20), 2)+"MB",
-			tableio.F(float64(st.Promotions), 0),
-			tableio.F(float64(st.Demotions), 0))
+		tbl.Row(name,
+			tableio.F(run.cpi, 3),
+			tableio.F(run.avgWSS/(1<<20), 2)+"MB",
+			tableio.F(float64(run.promos), 0),
+			tableio.F(float64(run.demos), 0))
 	}
 	tbl.Note("Demotion trades a little CPI (sparse revisits lose their 32KB mappings) for working-set honesty.")
 	return tbl, nil

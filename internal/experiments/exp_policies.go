@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"twopage/internal/addr"
+	"twopage/internal/engine"
 	"twopage/internal/metrics"
 	"twopage/internal/policy"
 	"twopage/internal/tableio"
@@ -9,6 +12,7 @@ import (
 	"twopage/internal/trace"
 	"twopage/internal/window"
 	"twopage/internal/workload"
+	"twopage/internal/wss"
 )
 
 // largenessOracle is the subset of Assigner the sampled working-set
@@ -23,18 +27,18 @@ type largenessOracle interface {
 // sliding window every sampleEvery references (the incremental WSS
 // calculator is specific to the paper's TwoSize policy; sampling is
 // exact at the sample points and plenty for an ablation).
-func runPolicyVariant(s workload.Spec, refs uint64, pol largenessOracle, T int) (cpi float64, avgWSS float64, largeFrac float64, err error) {
-	return runPolicyVariantOn(s.New(refs), pol, T)
+func runPolicyVariant(ctx context.Context, s workload.Spec, refs uint64, pol largenessOracle, T int) (cpi float64, avgWSS float64, largeFrac float64, err error) {
+	return runPolicyVariantOn(ctx, s.New(refs), pol, T)
 }
 
 // runPolicyVariantOn is runPolicyVariant over an arbitrary stream.
-func runPolicyVariantOn(src trace.Reader, pol largenessOracle, T int) (cpi float64, avgWSS float64, largeFrac float64, err error) {
+func runPolicyVariantOn(ctx context.Context, src trace.Reader, pol largenessOracle, T int) (cpi float64, avgWSS float64, largeFrac float64, err error) {
 	hw := tlb.NewFullyAssoc(16)
 	win := window.New(T)
 	const sampleEvery = 256
 	var instrs, samples uint64
 	var wssSum float64
-	err = drainInto(src, func(batch []trace.Ref) {
+	err = drainInto(ctx, src, func(batch []trace.Ref) {
 		for _, ref := range batch {
 			if ref.Kind == trace.Instr {
 				instrs++
@@ -88,9 +92,9 @@ func runPolicyVariantOn(src trace.Reader, pol largenessOracle, T int) (cpi float
 // chunks whose whole-trace density meets the paper's threshold become
 // large regions — the "reorganizing code and data" best case, with
 // perfect knowledge.
-func oracleRegions(s workload.Spec, refs uint64) ([]policy.Range, error) {
+func oracleRegions(ctx context.Context, s workload.Spec, refs uint64) ([]policy.Range, error) {
 	blocks := map[addr.PN]bool{}
-	if err := drainInto(s.New(refs), func(batch []trace.Ref) {
+	if err := drainInto(ctx, s.New(refs), func(batch []trace.Ref) {
 		for _, ref := range batch {
 			blocks[addr.Block(ref.Addr)] = true
 		}
@@ -113,52 +117,92 @@ func oracleRegions(s workload.Spec, refs uint64) ([]policy.Range, error) {
 	return ranges, nil
 }
 
+// policyVariantRun is one (workload, policy-variant) outcome.
+type policyVariantRun struct {
+	cpi, wss, lg float64
+}
+
 // Policies compares page-size assignment policies — the axis the
 // paper's conclusion flags as its biggest unknown: the dynamic windowed
 // policy (Section 3.4), a static-hint oracle (profile-derived large
 // regions; "reorganizing code and data", the better case), and a
 // cumulative promote-once policy ("less dynamic information", the
 // worse case).
-func Policies(o Options) (*tableio.Table, error) {
-	o = o.normalized()
+//
+// The oracle variant needs the profiling pass's regions, so the
+// experiment stages its submissions: all profiles first, then each
+// workload's three variants as its profile lands.
+func Policies(ctx context.Context, o *Options) (*tableio.Table, error) {
 	specs, err := o.ablationSpecs()
 	if err != nil {
 		return nil, err
 	}
-	tbl := tableio.New("Extension: page-size assignment policies (16-entry FA, 25-cycle penalty)",
-		"Program", "CPI dyn", "CPI static", "CPI cumul", "WSn dyn", "WSn static", "WSn cumul", "lg% dyn/st/cu")
-	for _, s := range specs {
+	ladders := make([]*engine.Future[[]wss.Result], len(specs))
+	profiles := make([]*engine.Future[[]policy.Range], len(specs))
+	for i, s := range specs {
+		s := s
 		refs := refsFor(s, o.Scale)
 		T := windowFor(refs)
-		base, _, err := wsNormSingle(s.New(refs), uint64(T), []uint{addr.Shift32K})
+		ladders[i] = staticWSS(ctx, o, s, refs, uint64(T))
+		profiles[i] = engine.Go(o.Engine, ctx, "policies profile "+s.Name,
+			func(ctx context.Context) ([]policy.Range, error) {
+				return oracleRegions(ctx, s, refs)
+			})
+	}
+	variants := make([][]*engine.Future[policyVariantRun], len(specs))
+	for i, s := range specs {
+		s := s
+		refs := refsFor(s, o.Scale)
+		T := windowFor(refs)
+		ranges, err := profiles[i].Wait(ctx)
 		if err != nil {
 			return nil, err
 		}
-		ranges, err := oracleRegions(s, refs)
+		mkPol := []func() (largenessOracle, error){
+			func() (largenessOracle, error) {
+				return policy.NewTwoSize(policy.DefaultTwoSizeConfig(T)), nil
+			},
+			func() (largenessOracle, error) {
+				return policy.NewRegion(policy.RegionConfig{LargeRegions: ranges})
+			},
+			func() (largenessOracle, error) {
+				return policy.NewCumulative(policy.CumulativeConfig{Threshold: addr.BlocksPerChunk / 2}), nil
+			},
+		}
+		names := []string{"dyn", "static", "cumul"}
+		for j, mk := range mkPol {
+			mk := mk
+			variants[i] = append(variants[i], engine.Go(o.Engine, ctx, "policies "+s.Name+" "+names[j],
+				func(ctx context.Context) (policyVariantRun, error) {
+					pol, err := mk()
+					if err != nil {
+						return policyVariantRun{}, err
+					}
+					cpi, w, lg, err := runPolicyVariant(ctx, s, refs, pol, T)
+					if err != nil {
+						return policyVariantRun{}, err
+					}
+					return policyVariantRun{cpi: cpi, wss: w, lg: lg}, nil
+				}))
+		}
+	}
+	tbl := tableio.New("Extension: page-size assignment policies (16-entry FA, 25-cycle penalty)",
+		"Program", "CPI dyn", "CPI static", "CPI cumul", "WSn dyn", "WSn static", "WSn cumul", "lg% dyn/st/cu")
+	for i, s := range specs {
+		ladder, err := ladders[i].Wait(ctx)
 		if err != nil {
 			return nil, err
 		}
-		static, err := policy.NewRegion(policy.RegionConfig{LargeRegions: ranges})
-		if err != nil {
-			return nil, err
-		}
-		type variant struct {
-			pol largenessOracle
-		}
-		variants := []variant{
-			{policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))},
-			{static},
-			{policy.NewCumulative(policy.CumulativeConfig{Threshold: addr.BlocksPerChunk / 2})},
-		}
+		base := ladder[engine.StaticIndex(addr.Shift4K)].AvgBytes
 		var cpis, wsns, lgs []float64
-		for _, v := range variants {
-			cpi, wss, lg, err := runPolicyVariant(s, refs, v.pol, T)
+		for _, f := range variants[i] {
+			run, err := f.Wait(ctx)
 			if err != nil {
 				return nil, err
 			}
-			cpis = append(cpis, cpi)
-			wsns = append(wsns, wss/base)
-			lgs = append(lgs, 100*lg)
+			cpis = append(cpis, run.cpi)
+			wsns = append(wsns, run.wss/base)
+			lgs = append(lgs, 100*run.lg)
 		}
 		tbl.Row(s.Name,
 			tableio.F(cpis[0], 3), tableio.F(cpis[1], 3), tableio.F(cpis[2], 3),

@@ -1,14 +1,22 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"twopage/internal/addr"
+	"twopage/internal/engine"
 	"twopage/internal/mmu"
 	"twopage/internal/policy"
 	"twopage/internal/tableio"
 	"twopage/internal/tlb"
 )
+
+// pressureRun carries one (workload, memory, policy) MMU run's outcome.
+type pressureRun struct {
+	st   mmu.Stats
+	frag uint64 // large allocations blocked by external fragmentation
+}
 
 // Pressure drives the full MMU (TLB + page table + buddy allocator +
 // clock replacement) under shrinking physical memory, for the 4KB
@@ -16,51 +24,73 @@ import (
 // names but cannot measure: page faults from the larger working set,
 // promotion copy traffic, and large-page allocations blocked by
 // external fragmentation.
-func Pressure(o Options) (*tableio.Table, error) {
-	o = o.normalized()
+func Pressure(ctx context.Context, o *Options) (*tableio.Table, error) {
 	specs, err := o.ablationSpecs()
 	if err != nil {
 		return nil, err
 	}
-	tbl := tableio.New("Extension: end-to-end MMU under memory pressure (per 1000 accesses)",
-		"Program", "Memory", "Policy", "cyc/access", "faults", "evictions", "frag-blocked", "copiedKB")
+	memSizes := []int{16 << 10, 1 << 10, 512}
+	var futs []*engine.Future[pressureRun]
 	for _, s := range specs {
+		s := s
 		refs := refsFor(s, o.Scale)
 		T := windowFor(refs)
-		for _, memKB := range []int{16 << 10, 1 << 10, 512} {
+		for _, memKB := range memSizes {
+			memKB := memKB
 			for _, two := range []bool{false, true} {
-				var pol policy.Assigner
+				two := two
+				label := fmt.Sprintf("pressure %s %dKB two=%t", s.Name, memKB, two)
+				futs = append(futs, engine.Go(o.Engine, ctx, label,
+					func(ctx context.Context) (pressureRun, error) {
+						var pol policy.Assigner
+						if two {
+							pol = policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))
+						} else {
+							pol = policy.NewSingle(addr.Size4K)
+						}
+						m, err := mmu.New(mmu.Config{
+							TLB:    tlb.NewFullyAssoc(16),
+							Policy: pol,
+							Memory: addr.PageSize(memKB << 10),
+						})
+						if err != nil {
+							return pressureRun{}, err
+						}
+						st, err := m.Run(ctx, s.New(refs))
+						if err != nil {
+							return pressureRun{}, err
+						}
+						return pressureRun{st: st, frag: m.Memory().Stats().FailedLargeFragmented}, nil
+					}))
+			}
+		}
+	}
+	tbl := tableio.New("Extension: end-to-end MMU under memory pressure (per 1000 accesses)",
+		"Program", "Memory", "Policy", "cyc/access", "faults", "evictions", "frag-blocked", "copiedKB")
+	i := 0
+	for _, s := range specs {
+		for _, memKB := range memSizes {
+			for _, two := range []bool{false, true} {
 				name := "4KB"
 				if two {
-					pol = policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))
 					name = "4KB/32KB"
-				} else {
-					pol = policy.NewSingle(addr.Size4K)
 				}
-				m, err := mmu.New(mmu.Config{
-					TLB:    tlb.NewFullyAssoc(16),
-					Policy: pol,
-					Memory: addr.PageSize(memKB << 10),
-				})
+				run, err := futs[i].Wait(ctx)
 				if err != nil {
 					return nil, err
 				}
-				st, err := m.Run(s.New(refs))
-				if err != nil {
-					return nil, err
-				}
-				per := float64(st.Accesses) / 1000
-				frag := m.Memory().Stats().FailedLargeFragmented
+				per := float64(run.st.Accesses) / 1000
 				mem := fmt.Sprintf("%dKB", memKB)
 				if memKB >= 1<<10 {
 					mem = fmt.Sprintf("%dMB", memKB>>10)
 				}
 				tbl.Row(s.Name, mem, name,
-					tableio.F(st.CyclesPerAccess(), 2),
-					tableio.F(float64(st.Faults)/per, 2),
-					tableio.F(float64(st.Evictions)/per, 2),
-					fmt.Sprintf("%d", frag),
-					tableio.F(float64(st.CopiedBytes)/1024, 0))
+					tableio.F(run.st.CyclesPerAccess(), 2),
+					tableio.F(float64(run.st.Faults)/per, 2),
+					tableio.F(float64(run.st.Evictions)/per, 2),
+					fmt.Sprintf("%d", run.frag),
+					tableio.F(float64(run.st.CopiedBytes)/1024, 0))
+				i++
 			}
 		}
 	}

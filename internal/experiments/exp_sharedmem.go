@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"twopage/internal/addr"
+	"twopage/internal/engine"
 	"twopage/internal/mmu"
 	"twopage/internal/multiprog"
 	"twopage/internal/policy"
@@ -20,8 +22,7 @@ import (
 // paper's Section 6 worry that "larger working sets either demand a
 // larger main memory, cause a higher page fault rate, or both" — in
 // the multiprogrammed setting where the pressure actually arises.
-func SharedMem(o Options) (*tableio.Table, error) {
-	o = o.normalized()
+func SharedMem(ctx context.Context, o *Options) (*tableio.Table, error) {
 	mix := []string{"li", "x11perf", "espresso", "eqntott"}
 	base, err := workload.Get("li")
 	if err != nil {
@@ -34,39 +35,55 @@ func SharedMem(o Options) (*tableio.Table, error) {
 	}
 	T := windowFor(perProc * uint64(len(mix)))
 
+	memSizes := []int{16, 4, 2}
+	var futs []*engine.Future[mmu.Stats]
+	for _, memMB := range memSizes {
+		memMB := memMB
+		for _, two := range []bool{false, true} {
+			two := two
+			label := fmt.Sprintf("sharedmem %dMB two=%t", memMB, two)
+			futs = append(futs, engine.Go(o.Engine, ctx, label,
+				func(ctx context.Context) (mmu.Stats, error) {
+					var pol policy.Assigner
+					if two {
+						pol = policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))
+					} else {
+						pol = policy.NewSingle(addr.Size4K)
+					}
+					procs := make([]multiprog.Process, len(mix))
+					for i, wname := range mix {
+						s, err := workload.Get(wname)
+						if err != nil {
+							return mmu.Stats{}, err
+						}
+						procs[i] = multiprog.Process{Name: wname, Source: s.New(perProc)}
+					}
+					mp, err := multiprog.New(procs, quantum)
+					if err != nil {
+						return mmu.Stats{}, err
+					}
+					m, err := mmu.New(mmu.Config{
+						TLB:    tlb.NewFullyAssoc(64),
+						Policy: pol,
+						Memory: addr.PageSize(memMB << 20),
+					})
+					if err != nil {
+						return mmu.Stats{}, err
+					}
+					return m.Run(ctx, mp)
+				}))
+		}
+	}
 	tbl := tableio.New("Extension: four processes sharing memory under the full MMU (per 1000 accesses)",
 		"Memory", "Policy", "cyc/access", "TLB miss%", "faults", "evictions", "copiedKB")
-	for _, memMB := range []int{16, 4, 2} {
+	i := 0
+	for _, memMB := range memSizes {
 		for _, two := range []bool{false, true} {
-			var pol policy.Assigner
 			name := "4KB"
 			if two {
-				pol = policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))
 				name = "4KB/32KB"
-			} else {
-				pol = policy.NewSingle(addr.Size4K)
 			}
-			procs := make([]multiprog.Process, len(mix))
-			for i, wname := range mix {
-				s, err := workload.Get(wname)
-				if err != nil {
-					return nil, err
-				}
-				procs[i] = multiprog.Process{Name: wname, Source: s.New(perProc)}
-			}
-			mp, err := multiprog.New(procs, quantum)
-			if err != nil {
-				return nil, err
-			}
-			m, err := mmu.New(mmu.Config{
-				TLB:    tlb.NewFullyAssoc(64),
-				Policy: pol,
-				Memory: addr.PageSize(memMB << 20),
-			})
-			if err != nil {
-				return nil, err
-			}
-			st, err := m.Run(mp)
+			st, err := futs[i].Wait(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -77,6 +94,7 @@ func SharedMem(o Options) (*tableio.Table, error) {
 				tableio.F(float64(st.Faults)/per, 2),
 				tableio.F(float64(st.Evictions)/per, 2),
 				tableio.F(float64(st.CopiedBytes)/1024, 0))
+			i++
 		}
 	}
 	tbl.Note("Four-process mix (li, x11perf, espresso, eqntott), 64-entry FA TLB with ASID-tagged entries.")

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"sort"
 
 	"twopage/internal/addr"
 	"twopage/internal/disk"
+	"twopage/internal/engine"
 	"twopage/internal/mmu"
 	"twopage/internal/policy"
 	"twopage/internal/tableio"
@@ -18,51 +20,82 @@ import (
 // amortized over more data transferred)". Under memory pressure the
 // two-page scheme takes fewer faults (one fault maps eight blocks) and
 // pays positioning once per 32KB instead of once per 4KB.
-func DiskIO(o Options) (*tableio.Table, error) {
-	o = o.normalized()
+func DiskIO(ctx context.Context, o *Options) (*tableio.Table, error) {
 	specs, err := o.ablationSpecs()
 	if err != nil {
 		return nil, err
 	}
 	dm := disk.Default()
-	tbl := tableio.New("Extension: demand paging with a 1992 disk model (1MB memory, per 1000 accesses)",
-		"Program", "Policy", "faults", "MB paged", "IO ms", "cyc/access")
+	type cell struct {
+		name string
+		fut  *engine.Future[mmu.Stats]
+	}
+	var cells []cell
 	for _, s := range specs {
+		s := s
 		refs := refsFor(s, o.Scale)
 		T := windowFor(refs)
 		for _, two := range []bool{false, true} {
-			var pol policy.Assigner
+			two := two
 			name := "4KB"
 			if two {
-				pol = policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))
 				name = "4KB/32KB"
-			} else {
-				pol = policy.NewSingle(addr.Size4K)
 			}
-			m, err := mmu.New(mmu.Config{
-				TLB:    tlb.NewFullyAssoc(16),
-				Policy: pol,
-				Memory: addr.PageSize(1 << 20),
-				Disk:   &dm,
-			})
-			if err != nil {
-				return nil, err
-			}
-			st, err := m.Run(s.New(refs))
+			cells = append(cells, cell{name, engine.Go(o.Engine, ctx, "diskio "+s.Name+" "+name,
+				func(ctx context.Context) (mmu.Stats, error) {
+					var pol policy.Assigner
+					if two {
+						pol = policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))
+					} else {
+						pol = policy.NewSingle(addr.Size4K)
+					}
+					m, err := mmu.New(mmu.Config{
+						TLB:    tlb.NewFullyAssoc(16),
+						Policy: pol,
+						Memory: addr.PageSize(1 << 20),
+						Disk:   &dm,
+					})
+					if err != nil {
+						return mmu.Stats{}, err
+					}
+					return m.Run(ctx, s.New(refs))
+				})})
+		}
+	}
+	tbl := tableio.New("Extension: demand paging with a 1992 disk model (1MB memory, per 1000 accesses)",
+		"Program", "Policy", "faults", "MB paged", "IO ms", "cyc/access")
+	i := 0
+	for _, s := range specs {
+		for range []bool{false, true} {
+			st, err := cells[i].fut.Wait(ctx)
 			if err != nil {
 				return nil, err
 			}
 			per := float64(st.Accesses) / 1000
 			ioMs := st.IO.IOCycles / (dm.CPUMHz * 1e3)
-			tbl.Row(s.Name, name,
+			tbl.Row(s.Name, cells[i].name,
 				tableio.F(float64(st.Faults)/per, 2),
 				tableio.F(float64(st.IO.BytesIn)/(1<<20), 1),
 				tableio.F(ioMs, 0),
 				tableio.F(st.CyclesPerAccess(), 1))
+			i++
 		}
 	}
 	tbl.Note("Disk: 16ms seek + 5.6ms rotation + 2MB/s at 40MHz — one 32KB page-in costs ~5x less than eight 4KB page-ins.")
 	return tbl, nil
+}
+
+// protProfile is the deterministic protection profile derived from a
+// workload's touched blocks: every 16th distinct 4KB block carries
+// sub-page write protection.
+type protProfile struct {
+	protected map[addr.PN]bool
+	protChunk map[addr.PN]bool
+}
+
+// protStats counts faults for one scheme under a profile.
+type protStats struct {
+	stores, trueF, spurious uint64
 }
 
 // Protect quantifies the paper's third tradeoff: "the protection
@@ -74,88 +107,116 @@ func DiskIO(o Options) (*tableio.Table, error) {
 // spuriously on stores to their other blocks. The veto policy
 // (DenyPromotion) shows the OS fix: keep chunks with sub-page
 // protection on small pages.
-func Protect(o Options) (*tableio.Table, error) {
-	o = o.normalized()
+//
+// The profile pass must finish before the scheme passes can start, so
+// the experiment stages its submissions: all profiles first, then each
+// workload's four schemes as its profile lands (tasks themselves never
+// wait on other tasks).
+func Protect(ctx context.Context, o *Options) (*tableio.Table, error) {
 	specs, err := o.ablationSpecs()
 	if err != nil {
 		return nil, err
 	}
-	tbl := tableio.New("Extension: sub-page write protection (faults per 1000 stores)",
-		"Program", "Scheme", "true", "spurious", "spurious ratio")
-	for _, s := range specs {
+	schemeNames := []string{"4KB", "32KB", "4KB/32KB", "4KB/32KB veto"}
+	profiles := make([]*engine.Future[protProfile], len(specs))
+	for i, s := range specs {
+		s := s
 		refs := refsFor(s, o.Scale)
-		T := windowFor(refs)
-
-		// Profile: protect every 16th touched block (deterministic).
-		var blocks []addr.PN
-		seen := map[addr.PN]bool{}
-		if err := drainInto(s.New(refs), func(batch []trace.Ref) {
-			for _, ref := range batch {
-				b := addr.Block(ref.Addr)
-				if !seen[b] {
-					seen[b] = true
-					blocks = append(blocks, b)
-				}
-			}
-		}); err != nil {
-			return nil, err
-		}
-		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
-		protected := map[addr.PN]bool{}
-		protChunk := map[addr.PN]bool{}
-		for i := 0; i < len(blocks); i += 16 {
-			protected[blocks[i]] = true
-			protChunk[addr.ChunkOfBlock(blocks[i])] = true
-		}
-
-		type scheme struct {
-			name string
-			pol  policy.Assigner
-		}
-		veto := policy.DefaultTwoSizeConfig(T)
-		veto.DenyPromotion = func(c addr.PN) bool { return protChunk[c] }
-		schemes := []scheme{
-			{"4KB", policy.NewSingle(addr.Size4K)},
-			{"32KB", policy.NewSingle(addr.Size32K)},
-			{"4KB/32KB", policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))},
-			{"4KB/32KB veto", policy.NewTwoSize(veto)},
-		}
-		for _, sc := range schemes {
-			var stores, trueF, spurious uint64
-			if err := drainInto(s.New(refs), func(batch []trace.Ref) {
-				for _, ref := range batch {
-					res := sc.pol.Assign(ref.Addr)
-					if ref.Kind != trace.Store {
-						continue
-					}
-					stores++
-					if protected[addr.Block(ref.Addr)] {
-						trueF++
-						continue
-					}
-					// Spurious: the mapped page spans a protected block
-					// the store did not touch.
-					if uint(res.Page.Shift) > addr.BlockShift {
-						first := addr.FirstBlock(res.Page.Number)
-						for i := addr.PN(0); i < addr.BlocksPerChunk; i++ {
-							if protected[first+i] {
-								spurious++
-								break
-							}
+		profiles[i] = engine.Go(o.Engine, ctx, "protect profile "+s.Name,
+			func(ctx context.Context) (protProfile, error) {
+				var blocks []addr.PN
+				seen := map[addr.PN]bool{}
+				if err := drainInto(ctx, s.New(refs), func(batch []trace.Ref) {
+					for _, ref := range batch {
+						b := addr.Block(ref.Addr)
+						if !seen[b] {
+							seen[b] = true
+							blocks = append(blocks, b)
 						}
 					}
+				}); err != nil {
+					return protProfile{}, err
 				}
-			}); err != nil {
+				sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+				p := protProfile{protected: map[addr.PN]bool{}, protChunk: map[addr.PN]bool{}}
+				for i := 0; i < len(blocks); i += 16 {
+					p.protected[blocks[i]] = true
+					p.protChunk[addr.ChunkOfBlock(blocks[i])] = true
+				}
+				return p, nil
+			})
+	}
+	schemes := make([][]*engine.Future[protStats], len(specs))
+	for i, s := range specs {
+		s := s
+		refs := refsFor(s, o.Scale)
+		T := windowFor(refs)
+		prof, err := profiles[i].Wait(ctx)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range schemeNames {
+			name := name
+			schemes[i] = append(schemes[i], engine.Go(o.Engine, ctx, "protect "+s.Name+" "+name,
+				func(ctx context.Context) (protStats, error) {
+					var pol policy.Assigner
+					switch name {
+					case "4KB":
+						pol = policy.NewSingle(addr.Size4K)
+					case "32KB":
+						pol = policy.NewSingle(addr.Size32K)
+					case "4KB/32KB":
+						pol = policy.NewTwoSize(policy.DefaultTwoSizeConfig(T))
+					default:
+						veto := policy.DefaultTwoSizeConfig(T)
+						veto.DenyPromotion = func(c addr.PN) bool { return prof.protChunk[c] }
+						pol = policy.NewTwoSize(veto)
+					}
+					var st protStats
+					err := drainInto(ctx, s.New(refs), func(batch []trace.Ref) {
+						for _, ref := range batch {
+							res := pol.Assign(ref.Addr)
+							if ref.Kind != trace.Store {
+								continue
+							}
+							st.stores++
+							if prof.protected[addr.Block(ref.Addr)] {
+								st.trueF++
+								continue
+							}
+							// Spurious: the mapped page spans a protected block
+							// the store did not touch.
+							if uint(res.Page.Shift) > addr.BlockShift {
+								first := addr.FirstBlock(res.Page.Number)
+								for i := addr.PN(0); i < addr.BlocksPerChunk; i++ {
+									if prof.protected[first+i] {
+										st.spurious++
+										break
+									}
+								}
+							}
+						}
+					})
+					return st, err
+				}))
+		}
+	}
+	tbl := tableio.New("Extension: sub-page write protection (faults per 1000 stores)",
+		"Program", "Scheme", "true", "spurious", "spurious ratio")
+	for i, s := range specs {
+		for j, name := range schemeNames {
+			st, err := schemes[i][j].Wait(ctx)
+			if err != nil {
 				return nil, err
 			}
-			per := float64(stores) / 1000
+			per := float64(st.stores) / 1000
 			ratio := 0.0
-			if trueF > 0 {
-				ratio = float64(spurious) / float64(trueF)
+			if st.trueF > 0 {
+				ratio = float64(st.spurious) / float64(st.trueF)
 			}
-			tbl.Row(s.Name, sc.name,
-				tableio.F(float64(trueF)/per, 2),
-				tableio.F(float64(spurious)/per, 2),
+			tbl.Row(s.Name, name,
+				tableio.F(float64(st.trueF)/per, 2),
+				tableio.F(float64(st.spurious)/per, 2),
 				tableio.F(ratio, 1)+"x")
 		}
 	}

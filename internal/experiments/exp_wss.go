@@ -1,7 +1,11 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+
 	"twopage/internal/addr"
+	"twopage/internal/engine"
 	"twopage/internal/metrics"
 	"twopage/internal/policy"
 	"twopage/internal/tableio"
@@ -11,43 +15,75 @@ import (
 )
 
 // drainInto pulls a reader to completion through fn.
-func drainInto(r trace.Reader, fn func([]trace.Ref)) error {
-	_, err := trace.Drain(r, fn)
+func drainInto(ctx context.Context, r trace.Reader, fn func([]trace.Ref)) error {
+	_, err := trace.DrainContext(ctx, r, fn)
 	return err
+}
+
+// staticWSS submits the canonical static working-set ladder for one
+// workload. Every working-set experiment keys on the same
+// (workload, refs, T) unit, so fig4.1, fig4.2, table3.1 and the
+// sensitivity sweep share one pass per workload.
+func staticWSS(ctx context.Context, o *Options, s workload.Spec, refs uint64, T uint64) *engine.Future[[]wss.Result] {
+	return o.Engine.StaticWSS(ctx, engine.StaticWSSUnit{Workload: s.Name, Refs: refs, T: T})
+}
+
+// normAt returns ladder[shift] normalized against the 4KB base.
+func normAt(ladder []wss.Result, shift uint) (float64, error) {
+	i := engine.StaticIndex(shift)
+	if i < 0 {
+		return 0, fmt.Errorf("experiments: shift %d not in the static ladder", shift)
+	}
+	return metrics.WSNormalized(ladder[i].AvgBytes, ladder[engine.StaticIndex(addr.Shift4K)].AvgBytes), nil
 }
 
 // Table31 reproduces Table 3.1: per-program trace length, references per
 // instruction, and average working-set size at 4KB pages.
-func Table31(o Options) (*tableio.Table, error) {
-	o = o.normalized()
+func Table31(ctx context.Context, o *Options) (*tableio.Table, error) {
 	specs, err := o.specs()
 	if err != nil {
 		return nil, err
 	}
+	type row struct {
+		count  *engine.Future[trace.Count]
+		ladder *engine.Future[[]wss.Result]
+	}
+	rows := make([]row, len(specs))
+	for i, s := range specs {
+		s := s
+		refs := refsFor(s, o.Scale)
+		T := uint64(windowFor(refs))
+		rows[i].ladder = staticWSS(ctx, o, s, refs, T)
+		rows[i].count = engine.Go(o.Engine, ctx, "count "+s.Name,
+			func(ctx context.Context) (trace.Count, error) {
+				var count trace.Count
+				err := drainInto(ctx, s.New(refs), func(batch []trace.Ref) {
+					for _, ref := range batch {
+						switch ref.Kind {
+						case trace.Instr:
+							count.Instr++
+						case trace.Load:
+							count.Load++
+						default:
+							count.Store++
+						}
+					}
+				})
+				return count, err
+			})
+	}
 	tbl := tableio.New("Table 3.1: Workloads (synthetic reproductions)",
 		"Program", "Refs(M)", "RPI", "WS@4KB(T=refs/8)", "Class")
-	for _, s := range specs {
+	for i, s := range specs {
 		refs := refsFor(s, o.Scale)
-		T := windowFor(refs)
-		var count trace.Count
-		calc := wss.NewStatic(uint64(T), addr.Shift4K)
-		err := drainInto(s.New(refs), func(batch []trace.Ref) {
-			for _, ref := range batch {
-				switch ref.Kind {
-				case trace.Instr:
-					count.Instr++
-				case trace.Load:
-					count.Load++
-				default:
-					count.Store++
-				}
-				calc.Step(ref.Addr)
-			}
-		})
+		count, err := rows[i].count.Wait(ctx)
 		if err != nil {
 			return nil, err
 		}
-		res := calc.Finish()[0]
+		ladder, err := rows[i].ladder.Wait(ctx)
+		if err != nil {
+			return nil, err
+		}
 		class := "small"
 		if s.LargeWS {
 			class = "large"
@@ -55,71 +91,41 @@ func Table31(o Options) (*tableio.Table, error) {
 		tbl.Row(s.Name,
 			tableio.F(float64(refs)/1e6, 1),
 			tableio.F(count.RPI(), 2),
-			wss.FormatBytes(res.AvgBytes),
+			wss.FormatBytes(ladder[engine.StaticIndex(addr.Shift4K)].AvgBytes),
 			class)
 	}
 	tbl.Note("Paper classes: small < 1MB working set, large > 1MB (at full trace lengths).")
 	return tbl, nil
 }
 
-// wsNormSingle runs one static multi-size pass and returns the
-// normalized working-set sizes (vs 4KB) for the given shifts.
-func wsNormSingle(r trace.Reader, T uint64, shifts []uint) (base float64, norm []float64, err error) {
-	all := append([]uint{addr.Shift4K}, shifts...)
-	calc := wss.NewStatic(T, all...)
-	if err := drainInto(r, func(batch []trace.Ref) {
-		for _, ref := range batch {
-			calc.Step(ref.Addr)
-		}
-	}); err != nil {
-		return 0, nil, err
-	}
-	res := calc.Finish()
-	base = res[0].AvgBytes
-	norm = make([]float64, len(shifts))
-	for i := range shifts {
-		norm[i] = metrics.WSNormalized(res[i+1].AvgBytes, base)
-	}
-	return base, norm, nil
-}
-
-// wsNormTwoSize measures the dynamic scheme's normalized working set
-// against a 4KB base measured over the same trace.
-func wsNormTwoSize(s workload.Spec, refs uint64, cfg policy.TwoSizeConfig, base float64) (float64, policy.TwoSizeStats, error) {
-	pol := policy.NewTwoSize(cfg)
-	calc := wss.NewTwoSize(pol)
-	if err := drainInto(s.New(refs), func(batch []trace.Ref) {
-		for _, ref := range batch {
-			calc.Observe(pol.Assign(ref.Addr))
-		}
-	}); err != nil {
-		return 0, policy.TwoSizeStats{}, err
-	}
-	return metrics.WSNormalized(calc.Result().AvgBytes, base), pol.Stats(), nil
-}
-
 // Fig41 reproduces Figure 4.1: WS_Normalized for single page sizes
 // 8KB..64KB, per program, plus the cross-program average.
-func Fig41(o Options) (*tableio.Table, error) {
-	o = o.normalized()
+func Fig41(ctx context.Context, o *Options) (*tableio.Table, error) {
 	specs, err := o.specs()
 	if err != nil {
 		return nil, err
 	}
 	shifts := []uint{addr.Shift8K, addr.Shift16K, addr.Shift32K, addr.Shift64K}
+	futs := make([]*engine.Future[[]wss.Result], len(specs))
+	for i, s := range specs {
+		refs := refsFor(s, o.Scale)
+		futs[i] = staticWSS(ctx, o, s, refs, uint64(windowFor(refs)))
+	}
 	tbl := tableio.New("Figure 4.1: WS_Normalized vs page size (4KB = 1.00)",
 		"Program", "8KB", "16KB", "32KB", "64KB")
 	sums := make([]float64, len(shifts))
-	for _, s := range specs {
-		refs := refsFor(s, o.Scale)
-		T := uint64(windowFor(refs))
-		_, norm, err := wsNormSingle(s.New(refs), T, shifts)
+	for i, s := range specs {
+		ladder, err := futs[i].Wait(ctx)
 		if err != nil {
 			return nil, err
 		}
 		row := []string{s.Name}
-		for i, n := range norm {
-			sums[i] += n
+		for j, sh := range shifts {
+			n, err := normAt(ladder, sh)
+			if err != nil {
+				return nil, err
+			}
+			sums[j] += n
 			row = append(row, tableio.F(n, 2))
 		}
 		tbl.Row(row...)
@@ -135,32 +141,48 @@ func Fig41(o Options) (*tableio.Table, error) {
 
 // Fig42 reproduces Figure 4.2: WS_Normalized for 8/16/32KB single sizes
 // against the dynamic 4KB/32KB scheme.
-func Fig42(o Options) (*tableio.Table, error) {
-	o = o.normalized()
+func Fig42(ctx context.Context, o *Options) (*tableio.Table, error) {
 	specs, err := o.specs()
 	if err != nil {
 		return nil, err
 	}
 	shifts := []uint{addr.Shift8K, addr.Shift16K, addr.Shift32K}
+	type row struct {
+		ladder *engine.Future[[]wss.Result]
+		two    *engine.Future[engine.TwoWSS]
+	}
+	rows := make([]row, len(specs))
+	for i, s := range specs {
+		refs := refsFor(s, o.Scale)
+		T := windowFor(refs)
+		rows[i].ladder = staticWSS(ctx, o, s, refs, uint64(T))
+		rows[i].two = o.Engine.TwoSizeWSS(ctx, engine.TwoSizeWSSUnit{
+			Workload: s.Name, Refs: refs, Cfg: policy.DefaultTwoSizeConfig(T),
+		})
+	}
 	tbl := tableio.New("Figure 4.2: WS_Normalized, single sizes vs 4KB/32KB",
 		"Program", "8KB", "16KB", "32KB", "4KB/32KB")
 	sums := make([]float64, 4)
-	for _, s := range specs {
-		refs := refsFor(s, o.Scale)
-		T := windowFor(refs)
-		base, norm, err := wsNormSingle(s.New(refs), uint64(T), shifts)
+	for i, s := range specs {
+		ladder, err := rows[i].ladder.Wait(ctx)
 		if err != nil {
 			return nil, err
 		}
-		two, _, err := wsNormTwoSize(s, refs, policy.DefaultTwoSizeConfig(T), base)
+		twoRes, err := rows[i].two.Wait(ctx)
 		if err != nil {
 			return nil, err
 		}
+		base := ladder[engine.StaticIndex(addr.Shift4K)].AvgBytes
 		row := []string{s.Name}
-		for i, n := range norm {
-			sums[i] += n
+		for j, sh := range shifts {
+			n, err := normAt(ladder, sh)
+			if err != nil {
+				return nil, err
+			}
+			sums[j] += n
 			row = append(row, tableio.F(n, 2))
 		}
+		two := metrics.WSNormalized(twoRes.WSS.AvgBytes, base)
 		sums[3] += two
 		row = append(row, tableio.F(two, 2))
 		tbl.Row(row...)
@@ -176,35 +198,48 @@ func Fig42(o Options) (*tableio.Table, error) {
 
 // SensitivityT reproduces the Section 4 claim that the working-set
 // trends are insensitive to T, sweeping T over half/nominal/double.
-func SensitivityT(o Options) (*tableio.Table, error) {
-	o = o.normalized()
+func SensitivityT(ctx context.Context, o *Options) (*tableio.Table, error) {
 	specs, err := o.specs()
 	if err != nil {
 		return nil, err
 	}
-	tbl := tableio.New("Section 4: WS_Normalized sensitivity to the window T",
-		"Program", "32KB@T/2", "32KB@T", "32KB@2T", "two@T/2", "two@T", "two@2T")
-	for _, s := range specs {
+	type row struct {
+		ladders []*engine.Future[[]wss.Result]
+		twos    []*engine.Future[engine.TwoWSS]
+	}
+	rows := make([]row, len(specs))
+	for i, s := range specs {
 		refs := refsFor(s, o.Scale)
 		T := windowFor(refs)
-		ts := []int{T / 2, T, 2 * T}
-		// One static pass per T (each pass also measures the 4KB base).
-		norm32 := make([]float64, len(ts))
-		bases := make([]float64, len(ts))
-		for i, t := range ts {
-			base, norm, err := wsNormSingle(s.New(refs), uint64(t), []uint{addr.Shift32K})
-			if err != nil {
-				return nil, err
-			}
-			bases[i], norm32[i] = base, norm[0]
+		for _, t := range []int{T / 2, T, 2 * T} {
+			// The nominal-T units are shared with fig4.1/fig4.2; only
+			// the halved and doubled windows cost extra passes.
+			rows[i].ladders = append(rows[i].ladders, staticWSS(ctx, o, s, refs, uint64(t)))
+			rows[i].twos = append(rows[i].twos, o.Engine.TwoSizeWSS(ctx, engine.TwoSizeWSSUnit{
+				Workload: s.Name, Refs: refs, Cfg: policy.DefaultTwoSizeConfig(t),
+			}))
 		}
-		normTwo := make([]float64, len(ts))
-		for i, t := range ts {
-			two, _, err := wsNormTwoSize(s, refs, policy.DefaultTwoSizeConfig(t), bases[i])
+	}
+	tbl := tableio.New("Section 4: WS_Normalized sensitivity to the window T",
+		"Program", "32KB@T/2", "32KB@T", "32KB@2T", "two@T/2", "two@T", "two@2T")
+	for i, s := range specs {
+		norm32 := make([]float64, 3)
+		normTwo := make([]float64, 3)
+		for j := 0; j < 3; j++ {
+			ladder, err := rows[i].ladders[j].Wait(ctx)
 			if err != nil {
 				return nil, err
 			}
-			normTwo[i] = two
+			norm32[j], err = normAt(ladder, addr.Shift32K)
+			if err != nil {
+				return nil, err
+			}
+			twoRes, err := rows[i].twos[j].Wait(ctx)
+			if err != nil {
+				return nil, err
+			}
+			normTwo[j] = metrics.WSNormalized(twoRes.WSS.AvgBytes,
+				ladder[engine.StaticIndex(addr.Shift4K)].AvgBytes)
 		}
 		tbl.Row(s.Name,
 			tableio.F(norm32[0], 2), tableio.F(norm32[1], 2), tableio.F(norm32[2], 2),

@@ -8,19 +8,33 @@
 // working-set windows shrink proportionally, so the same code serves
 // quick smoke runs (scale 0.01), benchmarks, and full-fidelity
 // reproductions (scale 1).
+//
+// Experiments do not simulate directly: they submit work units to an
+// engine.Engine (see Options.Engine) and assemble rows from the
+// returned futures in a fixed order. The engine bounds parallelism and
+// memoizes identical (workload, refs, policy, TLB-config) passes, so a
+// `paper all` run shares passes between experiments — and a Runner over
+// several experiments produces output byte-identical to a sequential
+// run at any parallelism level.
 package experiments
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
+	"twopage/internal/engine"
 	"twopage/internal/tableio"
 	"twopage/internal/tlb"
 	"twopage/internal/workload"
 )
 
-// Options parameterizes an experiment run.
+// Options parameterizes an experiment run. Construct with NewOptions
+// (or pass Opt values to NewRunner); the zero value works but must go
+// through normalize before use, which Run and the Runner do for you.
 type Options struct {
 	// Scale multiplies every workload's trace length (and, indirectly,
 	// its working-set window T). 1.0 is the full default; 0 means 1.0.
@@ -32,20 +46,86 @@ type Options struct {
 	Out io.Writer
 	// CSV renders comma-separated values instead of an aligned table.
 	CSV bool
+	// JSON renders the table as a JSON document (title, columns, rows)
+	// instead of an aligned table. Takes precedence over CSV.
+	JSON bool
+	// Parallelism bounds concurrent simulation passes when Engine is
+	// nil; <= 0 selects runtime.NumCPU(). Ignored when Engine is set.
+	Parallelism int
+	// Progress, when non-nil, receives one engine.Event per completed
+	// work unit. It runs on worker goroutines and must be safe for
+	// concurrent use. Ignored when Engine is set (attach an observer to
+	// the engine instead).
+	Progress func(engine.Event)
+	// Engine executes and memoizes the simulation passes. Nil means a
+	// private engine built from Parallelism and Progress; sharing one
+	// Engine across experiments (as the Runner does) deduplicates
+	// passes between them.
+	Engine *engine.Engine
 }
 
-func (o Options) normalized() Options {
+// Opt mutates an Options (the functional-options constructor form).
+type Opt func(*Options)
+
+// WithScale sets the trace-length multiplier.
+func WithScale(scale float64) Opt { return func(o *Options) { o.Scale = scale } }
+
+// WithWorkloads restricts the run to the named programs.
+func WithWorkloads(names ...string) Opt {
+	return func(o *Options) { o.Workloads = append([]string(nil), names...) }
+}
+
+// WithOut directs rendered tables to w.
+func WithOut(w io.Writer) Opt { return func(o *Options) { o.Out = w } }
+
+// WithCSV toggles comma-separated output.
+func WithCSV(csv bool) Opt { return func(o *Options) { o.CSV = csv } }
+
+// WithJSON toggles JSON output.
+func WithJSON(js bool) Opt { return func(o *Options) { o.JSON = js } }
+
+// WithParallelism bounds concurrent simulation passes; <= 0 selects
+// runtime.NumCPU().
+func WithParallelism(n int) Opt { return func(o *Options) { o.Parallelism = n } }
+
+// WithProgress registers a per-unit progress callback.
+func WithProgress(fn func(engine.Event)) Opt { return func(o *Options) { o.Progress = fn } }
+
+// WithEngine shares an existing engine (its parallelism and observer
+// win over WithParallelism/WithProgress).
+func WithEngine(e *engine.Engine) Opt { return func(o *Options) { o.Engine = e } }
+
+// NewOptions builds a normalized Options from functional options.
+func NewOptions(opts ...Opt) *Options {
+	o := &Options{}
+	for _, fn := range opts {
+		fn(o)
+	}
+	o.normalize()
+	return o
+}
+
+// normalize fills defaults in place. It is idempotent; every entry
+// point (Run, Runner, NewOptions) funnels through it, so experiment
+// code can rely on Scale, Out and Engine being set.
+func (o *Options) normalize() {
 	if o.Scale <= 0 {
 		o.Scale = 1.0
 	}
 	if o.Out == nil {
 		o.Out = os.Stdout
 	}
-	return o
+	if o.Engine == nil {
+		var eopts []engine.Option
+		if o.Progress != nil {
+			eopts = append(eopts, engine.WithObserver(o.Progress))
+		}
+		o.Engine = engine.New(o.Parallelism, eopts...)
+	}
 }
 
 // specs resolves the option's workload set (default all) to specs.
-func (o Options) specs() ([]workload.Spec, error) {
+func (o *Options) specs() ([]workload.Spec, error) {
 	if len(o.Workloads) == 0 {
 		return workload.All(), nil
 	}
@@ -58,6 +138,19 @@ func (o Options) specs() ([]workload.Spec, error) {
 		out = append(out, s)
 	}
 	return out, nil
+}
+
+// render writes the table in the option's format.
+func (o *Options) render(tbl *tableio.Table, w io.Writer) error {
+	switch {
+	case o.JSON:
+		return tbl.JSON(w)
+	case o.CSV:
+		return tbl.CSV(w)
+	default:
+		_, err := tbl.WriteTo(w)
+		return err
+	}
 }
 
 // refsFor scales a workload's default trace length, with a floor that
@@ -81,10 +174,22 @@ func windowFor(refs uint64) int {
 	return int(t)
 }
 
-// twoWay builds an n-entry 2-way set-associative TLB with the given
-// index scheme — the organization of Figure 5.2 and Table 5.1.
+// twoWayCfg describes an n-entry 2-way set-associative TLB with the
+// given index scheme — the organization of Figure 5.2 and Table 5.1 —
+// in the declarative form the engine memoizes on.
+func twoWayCfg(entries int, ix tlb.IndexScheme) tlb.Config {
+	return tlb.Config{Entries: entries, Ways: 2, Index: ix}
+}
+
+// twoWay builds the same organization as a live TLB, for experiments
+// that drive simulators directly inside opaque engine tasks.
 func twoWay(entries int, ix tlb.IndexScheme) tlb.TLB {
-	return tlb.MustNew(tlb.Config{Entries: entries, Ways: 2, Index: ix})
+	return tlb.MustNew(twoWayCfg(entries, ix))
+}
+
+// faCfg is a fully associative TLB of the given size in declarative form.
+func faCfg(entries int) tlb.Config {
+	return tlb.Config{Entries: entries, Ways: entries}
 }
 
 // Experiment couples an identifier with a runner.
@@ -95,8 +200,10 @@ type Experiment struct {
 	Title string
 	// About summarizes what the paper artifact shows.
 	About string
-	// Run executes the experiment and returns the rendered table.
-	Run func(Options) (*tableio.Table, error)
+	// Run executes the experiment and returns the rendered table. The
+	// Options must be normalized (NewOptions, or call normalize); Run
+	// submits work units to o.Engine and honours ctx cancellation.
+	Run func(ctx context.Context, o *Options) (*tableio.Table, error)
 }
 
 var registry = []Experiment{
@@ -271,20 +378,93 @@ func Get(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
 }
 
-// Run executes the experiment and writes its table to o.Out.
-func Run(id string, o Options) error {
+// Runner executes experiments against one shared engine, so passes
+// common to several experiments are simulated once. Tables are always
+// flushed to the output in request order, regardless of which
+// experiment finishes first — output is byte-identical to a sequential
+// run at any parallelism.
+type Runner struct {
+	opts *Options
+}
+
+// NewRunner builds a Runner from functional options.
+func NewRunner(opts ...Opt) *Runner {
+	return &Runner{opts: NewOptions(opts...)}
+}
+
+// Options exposes the runner's normalized options (shared, not a copy).
+func (r *Runner) Options() *Options { return r.opts }
+
+// Run executes one experiment and writes its table to the configured
+// output.
+func (r *Runner) Run(ctx context.Context, id string) error {
 	e, err := Get(id)
 	if err != nil {
 		return err
 	}
-	o = o.normalized()
-	tbl, err := e.Run(o)
+	tbl, err := e.Run(ctx, r.opts)
 	if err != nil {
 		return fmt.Errorf("experiments: %s: %w", id, err)
 	}
-	if o.CSV {
-		return tbl.CSV(o.Out)
+	return r.opts.render(tbl, r.opts.Out)
+}
+
+// RunAll executes the named experiments (all of them when ids is empty)
+// concurrently over the shared engine and flushes their tables in
+// request order. Each experiment runs on its own coordinator goroutine;
+// the engine's pool bounds the actual simulation work. The first error
+// (in request order) is returned, and tables after it are not written —
+// matching what a sequential run would have printed.
+func (r *Runner) RunAll(ctx context.Context, ids ...string) error {
+	exps := make([]Experiment, 0, len(registry))
+	if len(ids) == 0 {
+		exps = append(exps, registry...)
+	} else {
+		for _, id := range ids {
+			e, err := Get(id)
+			if err != nil {
+				return err
+			}
+			exps = append(exps, e)
+		}
 	}
-	_, err = tbl.WriteTo(o.Out)
-	return err
+
+	type outcome struct {
+		buf bytes.Buffer
+		err error
+	}
+	outs := make([]outcome, len(exps))
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			tbl, err := e.Run(ctx, r.opts)
+			if err != nil {
+				outs[i].err = fmt.Errorf("experiments: %s: %w", e.ID, err)
+				return
+			}
+			outs[i].err = r.opts.render(tbl, &outs[i].buf)
+		}(i, e)
+	}
+	wg.Wait()
+	for i := range outs {
+		if outs[i].err != nil {
+			return outs[i].err
+		}
+		if _, err := outs[i].buf.WriteTo(r.opts.Out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the experiment and writes its table to o.Out.
+//
+// Deprecated: use NewRunner(opts...).Run(ctx, id), which shares an
+// engine across runs and honours cancellation. Kept so struct-literal
+// call sites keep compiling during the migration.
+func Run(id string, o Options) error {
+	o.normalize()
+	return (&Runner{opts: &o}).Run(context.Background(), id)
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -9,6 +10,12 @@ import (
 	"twopage/internal/tableio"
 	"twopage/internal/workload"
 )
+
+// topts normalizes a literal Options for direct experiment calls.
+func topts(o Options) *Options {
+	o.normalize()
+	return &o
+}
 
 // cellF parses a table cell as a float.
 func cellF(t *testing.T, tbl *tableio.Table, row, col int) float64 {
@@ -69,14 +76,14 @@ func TestRunWritesOutput(t *testing.T) {
 }
 
 func TestBadWorkloadPropagates(t *testing.T) {
-	_, err := Table31(Options{Scale: 0.01, Workloads: []string{"bogus"}})
+	_, err := Table31(context.Background(), topts(Options{Scale: 0.01, Workloads: []string{"bogus"}}))
 	if err == nil {
 		t.Fatal("bogus workload should error")
 	}
 }
 
 func TestTable31AllPrograms(t *testing.T) {
-	tbl, err := Table31(Options{Scale: 0.01})
+	tbl, err := Table31(context.Background(), topts(Options{Scale: 0.01}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +101,7 @@ func TestTable31AllPrograms(t *testing.T) {
 // Figure 4.1 invariants: normalized working sets are >= ~1 and
 // non-decreasing with page size, for every program.
 func TestFig41Shapes(t *testing.T) {
-	tbl, err := Fig41(Options{Scale: 0.02})
+	tbl, err := Fig41(context.Background(), topts(Options{Scale: 0.02}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +129,7 @@ func TestFig41Shapes(t *testing.T) {
 // Figure 4.2 invariant: the two-page scheme is far cheaper in working
 // set than the 32KB single size, and cheap in absolute terms (~1.1).
 func TestFig42TwoPageIsCheap(t *testing.T) {
-	tbl, err := Fig42(Options{Scale: 0.02})
+	tbl, err := Fig42(context.Background(), topts(Options{Scale: 0.02}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +154,7 @@ func TestFig42TwoPageIsCheap(t *testing.T) {
 // the two-page scheme approaches 32KB for matrix300 and degrades for
 // worm (which never promotes).
 func TestFig51Shapes(t *testing.T) {
-	tbl, err := Fig51(Options{Scale: 0.04, Workloads: []string{"worm", "matrix300", "nasa7"}})
+	tbl, err := Fig51(context.Background(), topts(Options{Scale: 0.04, Workloads: []string{"worm", "matrix300", "nasa7"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +184,7 @@ func TestFig51Shapes(t *testing.T) {
 // degrades vs col 1 for every program; tomcatv thrashes the two-page
 // schemes; matrix300 wins with them.
 func TestTable51Shapes(t *testing.T) {
-	tbl, err := Table51(Options{Scale: 0.04, Workloads: []string{"espresso", "matrix300", "tomcatv"}})
+	tbl, err := Table51(context.Background(), topts(Options{Scale: 0.04, Workloads: []string{"espresso", "matrix300", "tomcatv"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +209,7 @@ func TestTable51Shapes(t *testing.T) {
 }
 
 func TestDeltaMPShapes(t *testing.T) {
-	tbl, err := DeltaMP(Options{Scale: 0.04, Workloads: []string{"matrix300", "worm"}})
+	tbl, err := DeltaMP(context.Background(), topts(Options{Scale: 0.04, Workloads: []string{"matrix300", "worm"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +226,7 @@ func TestDeltaMPShapes(t *testing.T) {
 }
 
 func TestSensitivityTRuns(t *testing.T) {
-	tbl, err := SensitivityT(Options{Scale: 0.02, Workloads: []string{"matrix300"}})
+	tbl, err := SensitivityT(context.Background(), topts(Options{Scale: 0.02, Workloads: []string{"matrix300"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +238,7 @@ func TestSensitivityTRuns(t *testing.T) {
 }
 
 func TestIndexingDegrades(t *testing.T) {
-	tbl, err := Indexing(Options{Scale: 0.03, Workloads: []string{"li", "espresso"}})
+	tbl, err := Indexing(context.Background(), topts(Options{Scale: 0.03, Workloads: []string{"li", "espresso"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +251,7 @@ func TestIndexingDegrades(t *testing.T) {
 }
 
 func TestThresholdSweep(t *testing.T) {
-	tbl, err := ThresholdSweep(Options{Scale: 0.02, Workloads: []string{"matrix300"}})
+	tbl, err := ThresholdSweep(context.Background(), topts(Options{Scale: 0.02, Workloads: []string{"matrix300"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +277,7 @@ func TestThresholdSweep(t *testing.T) {
 }
 
 func TestCombos(t *testing.T) {
-	tbl, err := Combos(Options{Scale: 0.02, Workloads: []string{"li"}})
+	tbl, err := Combos(context.Background(), topts(Options{Scale: 0.02, Workloads: []string{"li"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +297,7 @@ func TestCombos(t *testing.T) {
 }
 
 func TestSplitVsUnified(t *testing.T) {
-	tbl, err := SplitVsUnified(Options{Scale: 0.02, Workloads: []string{"matrix300"}})
+	tbl, err := SplitVsUnified(context.Background(), topts(Options{Scale: 0.02, Workloads: []string{"matrix300"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +308,7 @@ func TestSplitVsUnified(t *testing.T) {
 }
 
 func TestReplacementSweep(t *testing.T) {
-	tbl, err := ReplacementSweep(Options{Scale: 0.02, Workloads: []string{"li"}})
+	tbl, err := ReplacementSweep(context.Background(), topts(Options{Scale: 0.02, Workloads: []string{"li"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,9 +323,24 @@ func TestReplacementSweep(t *testing.T) {
 }
 
 func TestOptionsDefaults(t *testing.T) {
-	o := Options{}.normalized()
-	if o.Scale != 1.0 || o.Out == nil {
-		t.Fatalf("normalized: %+v", o)
+	o := &Options{}
+	o.normalize()
+	if o.Scale != 1.0 || o.Out == nil || o.Engine == nil {
+		t.Fatalf("normalize: %+v", o)
+	}
+	// normalize is idempotent: a second call must not replace the engine.
+	e := o.Engine
+	o.normalize()
+	if o.Engine != e {
+		t.Fatal("normalize replaced the engine on second call")
+	}
+	// The functional constructor applies options then normalizes.
+	no := NewOptions(WithScale(0.5), WithWorkloads("li"), WithParallelism(2))
+	if no.Scale != 0.5 || len(no.Workloads) != 1 || no.Engine == nil {
+		t.Fatalf("NewOptions: %+v", no)
+	}
+	if no.Engine.Parallelism() != 2 {
+		t.Fatalf("engine parallelism = %d, want 2", no.Engine.Parallelism())
 	}
 	if got := windowFor(80); got != 5_000 {
 		t.Fatalf("windowFor floor = %d", got)
@@ -333,7 +355,7 @@ func TestOptionsDefaults(t *testing.T) {
 }
 
 func TestMultiprogShapes(t *testing.T) {
-	tbl, err := Multiprog(Options{Scale: 0.05})
+	tbl, err := Multiprog(context.Background(), topts(Options{Scale: 0.05}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +381,7 @@ func TestMultiprogShapes(t *testing.T) {
 }
 
 func TestTLBSweepShapes(t *testing.T) {
-	tbl, err := TLBSweep(Options{Scale: 0.05, Workloads: []string{"li", "matrix300"}})
+	tbl, err := TLBSweep(context.Background(), topts(Options{Scale: 0.05, Workloads: []string{"li", "matrix300"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +410,7 @@ func TestTLBSweepShapes(t *testing.T) {
 }
 
 func TestMissHandlingShapes(t *testing.T) {
-	tbl, err := MissHandling(Options{Scale: 0.05, Workloads: []string{"worm", "matrix300"}})
+	tbl, err := MissHandling(context.Background(), topts(Options{Scale: 0.05, Workloads: []string{"worm", "matrix300"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,7 +443,7 @@ func TestMissHandlingShapes(t *testing.T) {
 }
 
 func TestPressureShapes(t *testing.T) {
-	tbl, err := Pressure(Options{Scale: 0.05, Workloads: []string{"matrix300"}})
+	tbl, err := Pressure(context.Background(), topts(Options{Scale: 0.05, Workloads: []string{"matrix300"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -450,7 +472,7 @@ func TestPressureShapes(t *testing.T) {
 }
 
 func TestConflictShapes(t *testing.T) {
-	tbl, err := Conflict(Options{Scale: 0.05, Workloads: []string{"tomcatv"}})
+	tbl, err := Conflict(context.Background(), topts(Options{Scale: 0.05, Workloads: []string{"tomcatv"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -466,7 +488,7 @@ func TestConflictShapes(t *testing.T) {
 }
 
 func TestCacheTLBShapes(t *testing.T) {
-	tbl, err := CacheTLB(Options{Scale: 0.05, Workloads: []string{"li", "matrix300"}})
+	tbl, err := CacheTLB(context.Background(), topts(Options{Scale: 0.05, Workloads: []string{"li", "matrix300"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -485,7 +507,7 @@ func TestCacheTLBShapes(t *testing.T) {
 }
 
 func TestPoliciesShapes(t *testing.T) {
-	tbl, err := Policies(Options{Scale: 0.05, Workloads: []string{"li", "worm"}})
+	tbl, err := Policies(context.Background(), topts(Options{Scale: 0.05, Workloads: []string{"li", "worm"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -512,7 +534,7 @@ func TestPoliciesShapes(t *testing.T) {
 }
 
 func TestAccessCostShapes(t *testing.T) {
-	tbl, err := AccessCost(Options{Scale: 0.05, Workloads: []string{"matrix300", "tomcatv"}})
+	tbl, err := AccessCost(context.Background(), topts(Options{Scale: 0.05, Workloads: []string{"matrix300", "tomcatv"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -531,7 +553,7 @@ func TestAccessCostShapes(t *testing.T) {
 }
 
 func TestDesignSpaceShapes(t *testing.T) {
-	tbl, err := DesignSpace(Options{Scale: 0.03, Workloads: []string{"li"}})
+	tbl, err := DesignSpace(context.Background(), topts(Options{Scale: 0.03, Workloads: []string{"li"}}))
 	if err != nil {
 		t.Fatal(err) // includes the internal sweep-vs-direct cross-check
 	}
@@ -545,7 +567,7 @@ func TestDesignSpaceShapes(t *testing.T) {
 }
 
 func TestPhasesShapes(t *testing.T) {
-	tbl, err := Phases(Options{Scale: 0.1})
+	tbl, err := Phases(context.Background(), topts(Options{Scale: 0.1}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -567,7 +589,7 @@ func TestPhasesShapes(t *testing.T) {
 }
 
 func TestSharedMemShapes(t *testing.T) {
-	tbl, err := SharedMem(Options{Scale: 0.03})
+	tbl, err := SharedMem(context.Background(), topts(Options{Scale: 0.03}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -593,7 +615,7 @@ func TestSharedMemShapes(t *testing.T) {
 }
 
 func TestDiskIOShapes(t *testing.T) {
-	tbl, err := DiskIO(Options{Scale: 0.05, Workloads: []string{"matrix300"}})
+	tbl, err := DiskIO(context.Background(), topts(Options{Scale: 0.05, Workloads: []string{"matrix300"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -613,7 +635,7 @@ func TestDiskIOShapes(t *testing.T) {
 }
 
 func TestProtectShapes(t *testing.T) {
-	tbl, err := Protect(Options{Scale: 0.05, Workloads: []string{"li"}})
+	tbl, err := Protect(context.Background(), topts(Options{Scale: 0.05, Workloads: []string{"li"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -640,7 +662,7 @@ func TestProtectShapes(t *testing.T) {
 }
 
 func TestFig52Shapes(t *testing.T) {
-	tbl, err := Fig52(Options{Scale: 0.04, Workloads: []string{"espresso", "matrix300"}})
+	tbl, err := Fig52(context.Background(), topts(Options{Scale: 0.04, Workloads: []string{"espresso", "matrix300"}}))
 	if err != nil {
 		t.Fatal(err)
 	}

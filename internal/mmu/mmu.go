@@ -15,6 +15,7 @@
 package mmu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -208,10 +209,14 @@ func (m *MMU) Access(va addr.VA) float64 {
 	return cycles
 }
 
-// Run drives a whole reference stream through the MMU.
-func (m *MMU) Run(r trace.Reader) (Stats, error) {
+// Run drives a whole reference stream through the MMU. Cancellation is
+// checked between batches, as in core.Simulator.Run.
+func (m *MMU) Run(ctx context.Context, r trace.Reader) (Stats, error) {
 	buf := make([]trace.Ref, 8192)
 	for {
+		if err := ctx.Err(); err != nil {
+			return m.stats, err
+		}
 		n, err := r.Read(buf)
 		for _, ref := range buf[:n] {
 			m.Access(ref.Addr)

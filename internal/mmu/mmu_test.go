@@ -1,6 +1,7 @@
 package mmu
 
 import (
+	"context"
 	"testing"
 
 	"twopage/internal/addr"
@@ -181,7 +182,7 @@ func TestLargePagesUnderPressure(t *testing.T) {
 	// promotion/demotion churn.
 	m := newTwoSizeMMU(t, 128, 64) // 128KB = 4 chunks
 	src := workload.MustNew("li", 30_000)
-	if _, err := m.Run(src); err != nil {
+	if _, err := m.Run(context.Background(), src); err != nil {
 		t.Fatal(err)
 	}
 	st := m.Stats()
@@ -208,7 +209,7 @@ func TestLargePagesUnderPressure(t *testing.T) {
 
 func TestRunWorkloadEndToEnd(t *testing.T) {
 	m := newTwoSizeMMU(t, 8192, 20_000)
-	st, err := m.Run(workload.MustNew("matrix300", 200_000))
+	st, err := m.Run(context.Background(), workload.MustNew("matrix300", 200_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestAgreesWithCoreSimulator(t *testing.T) {
 	const refs = 100_000
 	const T = refs / 8
 	m := newTwoSizeMMU(t, 16*1024, T)
-	if _, err := m.Run(workload.MustNew("li", refs)); err != nil {
+	if _, err := m.Run(context.Background(), workload.MustNew("li", refs)); err != nil {
 		t.Fatal(err)
 	}
 	// Reference: same policy+TLB via direct loop.

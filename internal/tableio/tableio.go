@@ -3,6 +3,7 @@
 package tableio
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -113,6 +114,41 @@ func (t *Table) CSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// Records returns the rows as header-keyed maps — the machine-readable
+// form of the table, also used by JSON.
+func (t *Table) Records() []map[string]string {
+	out := make([]map[string]string, len(t.rows))
+	for i, r := range t.rows {
+		rec := make(map[string]string, len(t.headers))
+		for j, h := range t.headers {
+			rec[h] = r[j]
+		}
+		out[i] = rec
+	}
+	return out
+}
+
+// jsonTable is the wire form of a table.
+type jsonTable struct {
+	Title   string              `json:"title"`
+	Columns []string            `json:"columns"`
+	Rows    []map[string]string `json:"rows"`
+	Notes   []string            `json:"notes,omitempty"`
+}
+
+// JSON renders the table as one indented JSON document: title, column
+// order, header-keyed rows, and footnotes.
+func (t *Table) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonTable{
+		Title:   t.Title,
+		Columns: t.Headers(),
+		Rows:    t.Records(),
+		Notes:   append([]string(nil), t.notes...),
+	})
 }
 
 // F formats a float with the given decimal places, rendering NaN and

@@ -189,6 +189,18 @@ func (c *Config) normalize() error {
 	return nil
 }
 
+// Normalized returns the configuration with defaults applied (Ways,
+// SmallShift, LargeShift), or an error for invalid geometries. Two
+// configurations that normalize identically build identical TLBs, which
+// is what lets the experiment engine use the normalized form as a
+// memoization key.
+func (c Config) Normalized() (Config, error) {
+	if err := c.normalize(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
 // SetAssoc is a set-associative TLB (fully associative when Ways ==
 // Entries). It implements TLB.
 type SetAssoc struct {

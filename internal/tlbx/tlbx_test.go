@@ -1,6 +1,7 @@
 package tlbx
 
 import (
+	"context"
 	"testing"
 
 	"twopage/internal/addr"
@@ -161,7 +162,7 @@ func TestWrappersInFullSimulation(t *testing.T) {
 	} {
 		pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(refs / 8))
 		sim := core.NewSimulator(pol, []tlb.TLB{mk()})
-		res, err := sim.Run(workload.MustNew("tomcatv", refs))
+		res, err := sim.Run(context.Background(), workload.MustNew("tomcatv", refs))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func TestVictimHelpsTomcatv(t *testing.T) {
 	run := func(mk func() tlb.TLB) uint64 {
 		pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(refs / 8))
 		sim := core.NewSimulator(pol, []tlb.TLB{mk()})
-		res, err := sim.Run(workload.MustNew("tomcatv", refs))
+		res, err := sim.Run(context.Background(), workload.MustNew("tomcatv", refs))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -259,7 +260,7 @@ func TestTwoLevelReducesSoftwareMisses(t *testing.T) {
 	run := func(mk func() tlb.TLB) uint64 {
 		pol := policy.NewSingle(addr.Size4K)
 		sim := core.NewSimulator(pol, []tlb.TLB{mk()})
-		res, err := sim.Run(workload.MustNew("li", refs))
+		res, err := sim.Run(context.Background(), workload.MustNew("li", refs))
 		if err != nil {
 			t.Fatal(err)
 		}

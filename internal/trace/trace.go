@@ -11,6 +11,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -66,8 +67,20 @@ type Reader interface {
 // with each non-empty batch in order. It is the canonical driver loop
 // shared by all simulators.
 func Drain(r Reader, fn func([]Ref)) (total uint64, err error) {
+	return DrainContext(context.Background(), r, fn)
+}
+
+// DrainContext is Drain with cooperative cancellation: the context is
+// checked between batches, so a multi-million-reference simulation
+// stops within one batch (8192 references) of cancellation. The
+// context's error is returned verbatim, letting callers distinguish
+// cancellation from stream failures with errors.Is.
+func DrainContext(ctx context.Context, r Reader, fn func([]Ref)) (total uint64, err error) {
 	buf := make([]Ref, 8192)
 	for {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
 		n, err := r.Read(buf)
 		if n > 0 {
 			fn(buf[:n])

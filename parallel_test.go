@@ -1,0 +1,134 @@
+package twopage_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"regexp"
+	"testing"
+
+	"twopage/internal/addr"
+	"twopage/internal/core"
+	"twopage/internal/experiments"
+	"twopage/internal/policy"
+	"twopage/internal/tlb"
+	"twopage/internal/trace"
+	"twopage/internal/workload"
+)
+
+// maskTimings hides the designspace experiment's wall-clock ratio, the
+// one intentionally time-dependent cell in any table.
+var maskTimings = regexp.MustCompile(`\d+\.\d+x`)
+
+// renderAll runs every registered experiment through one Runner at the
+// given parallelism and returns the combined output.
+func renderAll(t *testing.T, parallelism int) string {
+	t.Helper()
+	var sb bytes.Buffer
+	r := experiments.NewRunner(
+		experiments.WithScale(0.01),
+		experiments.WithWorkloads("li", "worm"),
+		experiments.WithOut(&sb),
+		experiments.WithParallelism(parallelism),
+	)
+	ids := make([]string, 0, len(experiments.All()))
+	for _, e := range experiments.All() {
+		ids = append(ids, e.ID)
+	}
+	if err := r.RunAll(context.Background(), ids...); err != nil {
+		t.Fatalf("parallelism %d: %v", parallelism, err)
+	}
+	return maskTimings.ReplaceAllString(sb.String(), "T")
+}
+
+// The tentpole guarantee: running the whole paper concurrently produces
+// byte-identical output to running it sequentially. Tables are
+// reassembled in registry order regardless of which worker finished
+// first, and the memo cache returns shared (deterministic) results.
+func TestParallelOutputMatchesSequential(t *testing.T) {
+	seq := renderAll(t, 1)
+	par := renderAll(t, 8)
+	if seq != par {
+		t.Fatalf("output differs between -j 1 and -j 8:\n-- j1 --\n%s\n-- j8 --\n%s", seq, par)
+	}
+	if len(seq) == 0 {
+		t.Fatal("no output produced")
+	}
+}
+
+// cancelAfterReader cancels its context after n batches, simulating a
+// user interrupt arriving mid-trace.
+type cancelAfterReader struct {
+	src    trace.Reader
+	cancel context.CancelFunc
+	n      int
+}
+
+func (c *cancelAfterReader) Read(p []trace.Ref) (int, error) {
+	if c.n--; c.n < 0 {
+		c.cancel()
+	}
+	return c.src.Read(p)
+}
+
+// A canceled context stops core.Simulator.Run between batches, long
+// before the trace is exhausted, and surfaces context.Canceled.
+func TestSimulatorRunCancellation(t *testing.T) {
+	const refs = 50_000_000 // far more than a test should ever simulate
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := &cancelAfterReader{src: workload.MustNew("li", refs), cancel: cancel, n: 2}
+	sim := core.NewSimulator(policy.NewSingle(addr.Size4K), []tlb.TLB{tlb.NewFullyAssoc(16)})
+	_, err := sim.Run(ctx, src)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// Cancellation propagates through the engine and Runner: a canceled
+// context fails the run with context.Canceled instead of hanging or
+// returning partial tables.
+func TestRunnerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := experiments.NewRunner(
+		experiments.WithScale(0.01),
+		experiments.WithWorkloads("li"),
+		experiments.WithOut(io.Discard),
+		experiments.WithParallelism(2),
+	)
+	err := r.RunAll(ctx, "table3.1", "fig5.1")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// The JSON rendering mode produces one decodable document per table.
+func TestExperimentsJSON(t *testing.T) {
+	var sb bytes.Buffer
+	r := experiments.NewRunner(
+		experiments.WithScale(0.01),
+		experiments.WithWorkloads("li"),
+		experiments.WithOut(&sb),
+		experiments.WithJSON(true),
+	)
+	if err := r.Run(context.Background(), "table3.1"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string              `json:"title"`
+		Columns []string            `json:"columns"`
+		Rows    []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal(sb.Bytes(), &doc); err != nil {
+		t.Fatalf("undecodable JSON: %v\n%s", err, sb.String())
+	}
+	if doc.Title == "" || len(doc.Columns) == 0 || len(doc.Rows) == 0 {
+		t.Fatalf("empty JSON document: %+v", doc)
+	}
+	if _, ok := doc.Rows[0][doc.Columns[0]]; !ok {
+		t.Fatalf("rows not keyed by column headers: %+v", doc.Rows[0])
+	}
+}
