@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify bench paper
+.PHONY: all build test verify bench bench-trace golden golden-update paper
 
 all: build
 
@@ -18,8 +18,27 @@ verify:
 	$(GO) build ./...
 	$(GO) test -race ./...
 
+# bench runs every benchmark in benchstat-friendly form: no unit tests
+# mixed in (-run '^$'), allocation counts on, and repeated samples so
+# `benchstat old.txt new.txt` has variance to work with.
+# Usage: make bench | tee new.txt
+COUNT ?= 6
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchmem -count $(COUNT) ./...
+
+# bench-trace regenerates BENCH_trace.json: v1-vs-v2 trace size and
+# decode throughput over the real workload generators.
+bench-trace:
+	$(GO) test -run TestTraceBenchReport -tracebench -count 1 .
+
+# golden checks the rendered output of every experiment byte-for-byte
+# against testdata/golden; golden-update re-blesses the corpus after an
+# intentional output change.
+golden:
+	$(GO) test -run TestGolden -count 1 .
+
+golden-update:
+	$(GO) test -run 'TestGolden$$' -update -count 1 .
 
 # Regenerate every paper table/figure at full scale.
 paper:

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	paper [-scale f] [-j n] [-csv|-json] [-workloads a,b,c] [experiment ...]
+//	paper -trace li.trc tlbsweep      # run experiments over a trace file
 //	paper -list
 //
 // With no experiment arguments (or "all"), every experiment runs in
@@ -20,11 +21,13 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -33,6 +36,9 @@ import (
 	"twopage/internal/engine"
 	"twopage/internal/experiments"
 	"twopage/internal/plot"
+	"twopage/internal/profiling"
+	"twopage/internal/trace"
+	"twopage/internal/workload"
 )
 
 // chartSpec maps chartable experiments to the table columns forming
@@ -58,8 +64,11 @@ func main() {
 	chart := flag.Bool("chart", false, "render figures as ASCII bar charts where applicable")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	workloads := flag.String("workloads", "", "comma-separated program subset (default: experiment's own)")
+	traceF := flag.String("trace", "", "run experiments over a trace file instead of the modelled programs")
 	parallelism := flag.Int("j", runtime.NumCPU(), "max concurrent simulation passes")
 	progress := flag.Bool("progress", false, "report each completed simulation pass on stderr")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] [experiment ...|all]\n\nFlags:\n", os.Args[0])
 		flag.PrintDefaults()
@@ -87,6 +96,30 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+		}
+	}()
+
+	if *traceF != "" {
+		name, err := registerTrace(*traceF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+			os.Exit(1)
+		}
+		// A trace file stands in for the whole program set unless the
+		// user picked an explicit subset.
+		if *workloads == "" {
+			*workloads = name
+		}
+	}
 
 	eopts := []experiments.Opt{
 		experiments.WithScale(*scale),
@@ -144,6 +177,33 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "  [%s in %.1fs at scale %g]\n", id, outs[i].dur.Seconds(), *scale)
 	}
+}
+
+// registerTrace makes a trace file available as a workload named
+// trace:<basename>. v2 files are memory-mapped and shared across all
+// concurrent passes; v1 and text traces are decoded once into memory
+// and replayed from the slice.
+func registerTrace(path string) (string, error) {
+	name := "trace:" + strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	if f, err := trace.OpenFile(path); err == nil {
+		return name, workload.RegisterFile(name, f)
+	} else if !errors.Is(err, trace.ErrNotV2) {
+		return "", err
+	}
+	r, closer, err := trace.OpenPath(path, "auto")
+	if err != nil {
+		return "", err
+	}
+	defer closer.Close()
+	var refs []trace.Ref
+	if _, err := trace.Drain(r, func(batch []trace.Ref) {
+		refs = append(refs, batch...)
+	}); err != nil {
+		return "", fmt.Errorf("reading %s: %w", path, err)
+	}
+	desc := fmt.Sprintf("trace file %s (%d refs, in-memory replay)", path, len(refs))
+	return name, workload.RegisterSource(name, desc, uint64(len(refs)), false,
+		func(uint64) trace.Reader { return trace.NewSliceReader(refs) })
 }
 
 // runOne executes an experiment and renders it into w as a table, CSV,

@@ -6,7 +6,7 @@
 //	tlbsim -workload matrix300 -entries 16                 # fully associative
 //	tlbsim -workload tomcatv -entries 32 -ways 2 -index large
 //	tlbsim -workload li -two -T 500000 -entries 16 -ways 2 -index exact
-//	tlbsim -trace foo.trc -format binary -pagesize 8192
+//	tlbsim -trace foo.trc -pagesize 8192        # format sniffed (v2/binary/text)
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"twopage/internal/addr"
 	"twopage/internal/core"
 	"twopage/internal/policy"
+	"twopage/internal/profiling"
 	"twopage/internal/tlb"
 	"twopage/internal/trace"
 	"twopage/internal/workload"
@@ -29,7 +30,9 @@ func main() {
 		specF    = flag.String("spec", "", "custom workload spec file (see workload.Parse)")
 		refs     = flag.Uint64("refs", 0, "trace length (0 = workload default)")
 		traceF   = flag.String("trace", "", "trace file to simulate instead of a workload")
-		format   = flag.String("format", "binary", "trace file format: binary or text")
+		format   = flag.String("format", "auto", "trace file format: auto, v2, binary, or text")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		entries  = flag.Int("entries", 16, "TLB entries")
 		ways     = flag.Int("ways", 0, "associativity (0 = fully associative)")
 		index    = flag.String("index", "exact", "set index scheme: small, large, exact")
@@ -68,17 +71,16 @@ func main() {
 	var nRefs uint64
 	switch {
 	case *traceF != "":
-		f, err := os.Open(*traceF)
+		r, closer, err := trace.OpenPath(*traceF, *format)
 		if err != nil {
 			fatal("%v", err)
 		}
-		defer f.Close()
-		if *format == "text" {
-			src = trace.NewTextReader(f)
-		} else {
-			src = trace.NewBinaryReader(f)
-		}
+		defer closer.Close()
+		src = r
 		nRefs = 1 << 22 // only used to derive a default window
+		if mr, ok := r.(*trace.MapReader); ok {
+			nRefs = mr.File().Refs()
+		}
 	case *specF != "":
 		text, err := os.ReadFile(*specF)
 		if err != nil {
@@ -126,8 +128,15 @@ func main() {
 		pol = policy.NewSingle(addr.PageSize(*pageSize))
 	}
 
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal("%v", err)
+	}
 	sim := core.NewSimulator(pol, []tlb.TLB{t}, opts...)
 	res, err := sim.Run(context.Background(), src)
+	if perr := stopProf(); perr != nil {
+		fatal("%v", perr)
+	}
 	if err != nil {
 		fatal("%v", err)
 	}

@@ -1,10 +1,14 @@
 // Command tracegen writes a synthetic workload's reference stream to a
-// trace file in the repository's binary or text format, so external
-// tools (or tlbsim/wsssim -trace) can replay identical traces.
+// trace file, so external tools (or the -trace flags of paper, tlbsim,
+// and wsssim) can replay identical traces. Format v2 is the
+// block-structured columnar encoding that trace.MapReader decodes
+// zero-copy from an mmap; "binary" is the v1 streaming format and
+// "text" a one-line-per-ref form for interop.
 //
 // Example:
 //
 //	tracegen -workload matrix300 -refs 1000000 -o m300.trc
+//	tracegen -workload li -format v2 -o li.trc
 //	tracegen -workload li -format text -o li.txt
 package main
 
@@ -23,7 +27,7 @@ func main() {
 		specF  = flag.String("spec", "", "custom workload spec file (see workload.Parse)")
 		refs   = flag.Uint64("refs", 0, "trace length (0 = workload default)")
 		out    = flag.String("o", "", "output file (default <workload>.trc)")
-		format = flag.String("format", "binary", "binary or text")
+		format = flag.String("format", "binary", "v2, binary, or text")
 	)
 	flag.Parse()
 
@@ -71,6 +75,16 @@ func main() {
 	var written uint64
 	var writeErr error
 	switch *format {
+	case "v2":
+		w := trace.NewV2Writer(f)
+		written, err = trace.Drain(src, func(batch []trace.Ref) {
+			if werr := w.Write(batch); werr != nil && writeErr == nil {
+				writeErr = werr
+			}
+		})
+		if writeErr == nil {
+			writeErr = w.Flush()
+		}
 	case "binary":
 		w := trace.NewWriter(f)
 		written, err = trace.Drain(src, func(batch []trace.Ref) {

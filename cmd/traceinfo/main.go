@@ -27,7 +27,7 @@ func main() {
 		wl     = flag.String("workload", "", "synthetic workload name")
 		refs   = flag.Uint64("refs", 0, "trace length (0 = workload default)")
 		traceF = flag.String("trace", "", "trace file instead of a workload")
-		format = flag.String("format", "binary", "trace file format: binary or text")
+		format = flag.String("format", "auto", "trace file format: auto, v2, binary, or text")
 		all    = flag.Bool("all", false, "summarize all twelve programs (one line each)")
 	)
 	flag.Parse()
@@ -57,15 +57,16 @@ func main() {
 	var src trace.Reader
 	switch {
 	case *traceF != "":
-		f, err := os.Open(*traceF)
+		r, closer, err := trace.OpenPath(*traceF, *format)
 		if err != nil {
 			fatal("%v", err)
 		}
-		defer f.Close()
-		if *format == "text" {
-			src = trace.NewTextReader(f)
-		} else {
-			src = trace.NewBinaryReader(f)
+		defer closer.Close()
+		src = r
+		if mr, ok := r.(*trace.MapReader); ok {
+			f := mr.File()
+			fmt.Printf("v2 trace:        %d blocks, %d refs, %d bytes (%.3f bytes/ref)\n",
+				f.Blocks(), f.Refs(), f.Size(), f.BytesPerRef())
 		}
 	case *wl != "":
 		spec, err := workload.Get(*wl)

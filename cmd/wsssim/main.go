@@ -21,6 +21,7 @@ import (
 	"twopage/internal/core"
 	"twopage/internal/metrics"
 	"twopage/internal/policy"
+	"twopage/internal/profiling"
 	"twopage/internal/trace"
 	"twopage/internal/workload"
 	"twopage/internal/wss"
@@ -30,11 +31,13 @@ func main() {
 	var (
 		wl     = flag.String("workload", "", "synthetic workload name")
 		refs   = flag.Uint64("refs", 0, "trace length (0 = workload default)")
-		traceF = flag.String("trace", "", "trace file instead of a workload")
-		format = flag.String("format", "binary", "trace file format: binary or text")
-		window = flag.Uint64("T", 0, "working-set window in references (0 = refs/8)")
-		sizes  = flag.String("sizes", "4096,8192,16384,32768,65536", "comma-separated page sizes in bytes")
-		two    = flag.Bool("two", true, "also compute the dynamic 4KB/32KB scheme")
+		traceF  = flag.String("trace", "", "trace file instead of a workload")
+		format  = flag.String("format", "auto", "trace file format: auto, v2, binary, or text")
+		window  = flag.Uint64("T", 0, "working-set window in references (0 = refs/8)")
+		sizes   = flag.String("sizes", "4096,8192,16384,32768,65536", "comma-separated page sizes in bytes")
+		two     = flag.Bool("two", true, "also compute the dynamic 4KB/32KB scheme")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -47,17 +50,25 @@ func main() {
 		pageSizes = append(pageSizes, addr.PageSize(v))
 	}
 
+	// open returns a fresh reader over the configured source; the
+	// two-page scheme is a second pass, so it is called up to twice.
+	// v2 files are mmap'd once and reread via a new cursor for free.
+	var mapped *trace.File
 	open := func() trace.Reader {
 		switch {
 		case *traceF != "":
-			f, err := os.Open(*traceF)
+			if mapped != nil {
+				return mapped.Reader()
+			}
+			r, closer, err := trace.OpenPath(*traceF, *format)
 			if err != nil {
 				fatal("%v", err)
 			}
-			if *format == "text" {
-				return trace.NewTextReader(f)
+			if mr, ok := r.(*trace.MapReader); ok {
+				mapped = mr.File()
 			}
-			return trace.NewBinaryReader(f)
+			_ = closer // released at process exit
+			return r
 		case *wl != "":
 			spec, err := workload.Get(*wl)
 			if err != nil {
@@ -74,10 +85,15 @@ func main() {
 		}
 	}
 
+	first := open()
 	n := *refs
-	if n == 0 && *wl != "" {
-		if spec, err := workload.Get(*wl); err == nil {
-			n = spec.DefaultRefs
+	if n == 0 {
+		if *wl != "" {
+			if spec, err := workload.Get(*wl); err == nil {
+				n = spec.DefaultRefs
+			}
+		} else if mapped != nil {
+			n = mapped.Refs()
 		}
 	}
 	T := *window
@@ -88,14 +104,18 @@ func main() {
 			T = n / 8
 		}
 	}
-	if *traceF != "" && *two {
-		// Two-page WSS needs a second pass; reopening files twice is
-		// fine, but keep it explicit and simple: disable for files.
-		fmt.Fprintln(os.Stderr, "wsssim: -two disabled for trace files (single pass only)")
-		*two = false
-	}
 
-	results, err := core.MeasureStaticWSS(context.Background(), open(), T, pageSizes...)
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal("%v", err)
+		}
+	}()
+
+	results, err := core.MeasureStaticWSS(context.Background(), first, T, pageSizes...)
 	if err != nil {
 		fatal("%v", err)
 	}

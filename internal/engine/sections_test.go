@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"twopage/internal/addr"
+	"twopage/internal/trace"
+)
+
+// sectionFile builds an in-memory v2 trace with small blocks so a few
+// thousand references split into many sections.
+func sectionFile(t *testing.T, nRefs, blockRefs int) (*trace.File, []trace.Ref) {
+	t.Helper()
+	refs := make([]trace.Ref, nRefs)
+	a := int64(0x4000_0000)
+	for i := range refs {
+		a += int64(i%7)*8 - 16
+		refs[i] = trace.Ref{Addr: addr.VA(a), Kind: trace.Kind(i % 3)}
+	}
+	var buf bytes.Buffer
+	w := trace.NewV2WriterBlock(&buf, blockRefs)
+	if err := w.Write(refs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := trace.NewFileBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, refs
+}
+
+func readAll(r trace.Reader) ([]trace.Ref, error) {
+	var out []trace.Ref
+	batch := make([]trace.Ref, 512)
+	for {
+		n, err := r.Read(batch)
+		out = append(out, batch[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func TestMapSectionsCoversFileInOrder(t *testing.T) {
+	f, refs := sectionFile(t, 5000, 64)
+	for _, workers := range []int{1, 3, 8, 0} {
+		e := New(4)
+		fut := MapSections(e, context.Background(), f, workers, "cover",
+			func(ctx context.Context, r *trace.MapReader, section int) ([]trace.Ref, error) {
+				return readAll(r)
+			})
+		parts, err := fut.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var merged []trace.Ref
+		for _, p := range parts {
+			merged = append(merged, p...)
+		}
+		if len(merged) != len(refs) {
+			t.Fatalf("workers=%d: merged %d refs, want %d", workers, len(merged), len(refs))
+		}
+		for i := range merged {
+			if merged[i] != refs[i] {
+				t.Fatalf("workers=%d: ref %d = %v, want %v", workers, i, merged[i], refs[i])
+			}
+		}
+	}
+}
+
+func TestMapSectionsClampsToBlockCount(t *testing.T) {
+	f, refs := sectionFile(t, 100, 64) // 2 blocks
+	e := New(8)
+	var sections []int
+	fut := MapSections(e, context.Background(), f, 16, "clamp",
+		func(ctx context.Context, r *trace.MapReader, section int) (uint64, error) {
+			return r.Refs(), nil
+		})
+	counts, err := fut.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 2 {
+		t.Fatalf("got %d sections, want 2 (one per block); section log %v", len(counts), sections)
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != uint64(len(refs)) {
+		t.Fatalf("sections cover %d refs, want %d", total, len(refs))
+	}
+}
+
+func TestMapSectionsEmptyFile(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewV2Writer(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := trace.NewFileBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(4)
+	fut := MapSections(e, context.Background(), f, 0, "empty",
+		func(ctx context.Context, r *trace.MapReader, section int) (int, error) {
+			got, err := readAll(r)
+			return len(got), err
+		})
+	counts, err := fut.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 1 || counts[0] != 0 {
+		t.Fatalf("counts = %v, want [0]", counts)
+	}
+}
+
+func TestMapSectionsPropagatesError(t *testing.T) {
+	f, _ := sectionFile(t, 1000, 64)
+	e := New(4)
+	boom := errors.New("boom")
+	fut := MapSections(e, context.Background(), f, 4, "err",
+		func(ctx context.Context, r *trace.MapReader, section int) (int, error) {
+			if section == 2 {
+				return 0, boom
+			}
+			return 0, nil
+		})
+	if _, err := fut.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

@@ -1,0 +1,51 @@
+// Package profiling wires -cpuprofile/-memprofile flags into the
+// commands with one call. The simulators are throughput-bound, so
+// every cmd that drains traces exposes these flags; profiles feed
+// `go tool pprof` against the cmd binary.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and arranges a
+// heap profile to memPath (if non-empty). The returned stop function
+// finishes both and must be called before exit — via defer in main, or
+// explicitly before os.Exit. Start with two empty paths is a no-op
+// returning a no-op stop.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			memF, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer memF.Close()
+			runtime.GC() // materialize the final live heap
+			if err := pprof.WriteHeapProfile(memF); err != nil {
+				return fmt.Errorf("writing heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,36 @@
+package tlb
+
+import (
+	"testing"
+
+	"twopage/internal/addr"
+	"twopage/internal/policy"
+)
+
+// TestAccessAllocs pins the simulator's innermost operation at zero
+// allocations: one TLB probe per reference means any alloc here scales
+// with trace length.
+func TestAccessAllocs(t *testing.T) {
+	for _, cfg := range []Config{
+		{Entries: 16, Ways: 16, Index: IndexExact},
+		{Entries: 64, Ways: 2, Index: IndexSmall},
+		{Entries: 64, Ways: 4, Index: IndexLarge, Repl: Random},
+	} {
+		tl := MustNew(cfg)
+		i := 0
+		avg := testing.AllocsPerRun(1000, func() {
+			// Mix hits, misses, and both page sizes so every Access
+			// path is exercised.
+			va := addr.VA(uint64(i*4096) % (1 << 22))
+			if i%3 == 0 {
+				tl.Access(va, policy.Page{Number: addr.Chunk(va), Shift: addr.ChunkShift})
+			} else {
+				tl.Access(va, policy.Page{Number: addr.Block(va), Shift: addr.BlockShift})
+			}
+			i++
+		})
+		if avg != 0 {
+			t.Errorf("%s: Access allocates %.1f times per call, want 0", tl.Name(), avg)
+		}
+	}
+}

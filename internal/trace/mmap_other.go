@@ -1,0 +1,21 @@
+//go:build !unix
+
+package trace
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without syscall.Mmap reads the whole file once.
+// The File API is unchanged; only the zero-copy property is lost.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, nil, nil
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

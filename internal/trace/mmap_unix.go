@@ -1,0 +1,37 @@
+//go:build unix
+
+package trace
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The returned cleanup func
+// unmaps; it is nil when there is nothing to release. Zero-length files
+// are legal inputs but illegal mmap arguments, so they come back as an
+// empty slice without a mapping.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, nil, nil
+	}
+	if int64(int(size)) != size {
+		return nil, nil, syscall.EFBIG
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Some filesystems (and pipes handed in as paths) refuse mmap;
+		// fall back to a plain read so OpenFile still works there.
+		return readFile(f, size)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
+
+func readFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

@@ -1,0 +1,27 @@
+package wss
+
+import (
+	"testing"
+
+	"twopage/internal/addr"
+)
+
+// TestStepAllocs pins the working-set window update at zero
+// steady-state allocations. The per-shift maps grow while the
+// footprint is first touched; after that warmup every Step must be
+// pure map updates.
+func TestStepAllocs(t *testing.T) {
+	s := NewStatic(1<<16, addr.BlockShift, addr.ChunkShift)
+	// Touch the whole address range once so the maps are fully grown.
+	for i := 0; i < 1<<14; i++ {
+		s.Step(addr.VA(i * 4096))
+	}
+	i := 0
+	avg := testing.AllocsPerRun(5000, func() {
+		s.Step(addr.VA(uint64(i*4096) % (1 << 26)))
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("Static.Step allocates %.2f times per call, want 0", avg)
+	}
+}
