@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: all build test verify bench bench-trace golden golden-update paper
+# Third-party checkers, pinned and fetched on demand via `go run` so
+# they never enter go.mod. Both need network on first use; lint-extra
+# probes for that and degrades to a warning offline, while CI (which
+# always has network) treats failures as hard.
+STATICCHECK = honnef.co/go/tools/cmd/staticcheck@2025.1.1
+GOVULNCHECK = golang.org/x/vuln/cmd/govulncheck@v1.1.4
+
+.PHONY: all build test verify lint paperlint lint-extra bench bench-trace golden golden-update paper
 
 all: build
 
@@ -10,11 +17,34 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the pre-merge gate: static checks, a full build, and the
-# test suite under the race detector (the engine is concurrent; races
-# are correctness bugs here, not style).
+# paperlint runs the repository's own invariant analyzers (package
+# twopage/internal/analysis): determinism, hotalloc, powtwo, ctxcheck,
+# errfmt. Zero tolerance: any unsuppressed diagnostic fails the build.
+paperlint:
+	$(GO) run ./cmd/paperlint ./...
+
+# lint is the fast local loop: just the invariant analyzers.
+lint: paperlint
+
+# lint-extra layers the pinned third-party checkers on top. Offline the
+# tools cannot be fetched; warn and continue so air-gapped development
+# still works (CI runs them for real).
+lint-extra:
+	@$(GO) run $(STATICCHECK) ./... \
+		|| { [ "$(CI)" = "true" ] && exit 1 \
+		|| echo "warning: staticcheck unavailable or failed (offline?); CI will enforce it"; }
+	@$(GO) run $(GOVULNCHECK) ./... \
+		|| { [ "$(CI)" = "true" ] && exit 1 \
+		|| echo "warning: govulncheck unavailable or failed (offline?); CI will enforce it"; }
+
+# verify is the pre-merge gate: static checks (vet, then the paperlint
+# invariant suite, then the pinned external checkers), a full build,
+# and the test suite under the race detector (the engine is concurrent;
+# races are correctness bugs here, not style).
 verify:
 	$(GO) vet ./...
+	$(MAKE) paperlint
+	$(MAKE) lint-extra
 	$(GO) build ./...
 	$(GO) test -race ./...
 

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"twopage/internal/analysis"
+	"twopage/internal/analysis/load"
+)
+
+// TestJSONStable pins the machine-readable output format: field names,
+// order, indentation and the empty-array form are an interface for CI
+// tooling and must not drift.
+func TestJSONStable(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/a/a.go", Line: 3, Column: 7},
+			Analyzer: "determinism",
+			Message:  `range over map m: iteration order is randomized`,
+		},
+		{
+			Pos:      token.Position{Filename: "internal/b/b.go", Line: 11, Column: 2},
+			Analyzer: "hotalloc",
+			Message:  "hot Read: make allocates",
+		},
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, diags, true); err != nil {
+		t.Fatal(err)
+	}
+	want := `[
+  {
+    "file": "internal/a/a.go",
+    "line": 3,
+    "col": 7,
+    "analyzer": "determinism",
+    "message": "range over map m: iteration order is randomized"
+  },
+  {
+    "file": "internal/b/b.go",
+    "line": 11,
+    "col": 2,
+    "analyzer": "hotalloc",
+    "message": "hot Read: make allocates"
+  }
+]
+`
+	if got := buf.String(); got != want {
+		t.Errorf("JSON output drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	buf.Reset()
+	if err := Render(&buf, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("empty JSON output = %q, want %q", got, "[]\n")
+	}
+}
+
+// TestSeededViolation builds a throwaway module containing one hotalloc
+// violation and checks the driver end to end: exit code 1 and a
+// diagnostic naming the analyzer, both in text and JSON mode.
+func TestSeededViolation(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module seeded\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "seed.go"), `package seeded
+
+//paperlint:hot
+func hot(xs []int) []int {
+	return append(xs, 1)
+}
+`)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", dir}, &out, &errOut); code != 1 {
+		t.Fatalf("run = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "seed.go:5:9: hotalloc:") {
+		t.Errorf("text output missing positioned diagnostic:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-json", "-dir", dir}, &out, &errOut); code != 1 {
+		t.Fatalf("run -json = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), `"analyzer": "hotalloc"`) {
+		t.Errorf("JSON output missing analyzer field:\n%s", out.String())
+	}
+}
+
+// TestSuppressedSeedIsClean is the suppression counterpart: the same
+// violation under a justified ignore exits 0.
+func TestSuppressedSeedIsClean(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module seeded\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "seed.go"), `package seeded
+
+//paperlint:hot
+func hot(xs []int) []int {
+	return append(xs, 1) //paperlint:ignore hotalloc caller preallocates; never grows in practice
+}
+`)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, want 0; stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output: %s", out.String())
+	}
+}
+
+// TestShippedTreeClean is the gate the Makefile relies on: the
+// repository's own tree must carry zero unsuppressed diagnostics.
+func TestShippedTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	res, err := load.Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := Lint(res)
+	Relativize(diags, filepath.Join("..", ".."))
+	for _, d := range diags {
+		t.Errorf("shipped tree: %s", d.String())
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

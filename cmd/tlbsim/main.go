@@ -125,7 +125,7 @@ func main() {
 		if *wss {
 			fatal("-wss requires -two (use wsssim for single sizes)")
 		}
-		pol = policy.NewSingle(addr.PageSize(*pageSize))
+		pol = policy.NewSingle(addr.MustPow2(addr.PageSize(*pageSize)))
 	}
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)

@@ -34,7 +34,7 @@ const (
 )
 
 func singleSize(size addr.PageSize) (cpiFA, cpi2W float64, avgWS float64) {
-	sim := core.NewSimulator(policy.NewSingle(size), []tlb.TLB{
+	sim := core.NewSimulator(policy.NewSingle(addr.MustPow2(size)), []tlb.TLB{
 		tlb.NewFullyAssoc(16),
 		tlb.MustNew(tlb.Config{Entries: 16, Ways: 2, Index: tlb.IndexExact}),
 	})
@@ -42,7 +42,7 @@ func singleSize(size addr.PageSize) (cpiFA, cpi2W float64, avgWS float64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	wr, err := core.MeasureStaticWSS(context.Background(), workload.MustNew("matrix300", refs), T, size)
+	wr, err := core.MeasureStaticWSS(context.Background(), workload.MustNew("matrix300", refs), T, addr.MustPow2(size))
 	if err != nil {
 		log.Fatal(err)
 	}

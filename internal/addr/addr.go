@@ -71,6 +71,18 @@ func (s PageSize) Valid() bool {
 	return s != 0 && s&(s-1) == 0
 }
 
+// MustPow2 returns s unchanged after asserting it is a nonzero power of
+// two, panicking otherwise. It is the validation boundary the paperlint
+// powtwo analyzer requires where a non-constant page size flows into a
+// constructor: the model's address arithmetic is pure shifts and masks
+// and is silently wrong for any other size.
+func MustPow2(s PageSize) PageSize {
+	if !s.Valid() {
+		panic(fmt.Sprintf("addr: page size %d is not a power of two", uint64(s)))
+	}
+	return s
+}
+
 // String formats a page size as "4KB", "32KB", "1MB", etc.
 func (s PageSize) String() string {
 	switch {

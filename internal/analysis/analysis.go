@@ -1,0 +1,245 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools go/analysis model, carrying the five analyzers that
+// mechanically enforce this repository's invariants:
+//
+//   - determinism: no map iteration, wall-clock reads or global
+//     math/rand in packages that feed rendered experiment output (the
+//     golden corpus and the j1-vs-j8 tests depend on byte-identical
+//     tables at any parallelism);
+//   - hotalloc: no allocation-inducing constructs inside functions
+//     annotated //paperlint:hot (the decode/simulate loops that the
+//     AllocsPerRun==0 tests pin to zero steady-state allocations);
+//   - powtwo: page sizes and TLB/cache geometries that reach
+//     constructors as constants must be aligned powers of two, the
+//     paper's standing assumption (Section 1: "pages aligned and
+//     power-of-two sized");
+//   - ctxcheck: unbounded reference-processing loops in the simulation
+//     drivers must poll their context (the PR 1 cancellation contract:
+//     a check at least once per batch);
+//   - errfmt: errors wrapped with fmt.Errorf must use %w, and error
+//     returns must not be silently dropped in the trace/workload I/O
+//     paths.
+//
+// The model mirrors x/tools deliberately — Analyzer with a Run func,
+// Pass carrying files and type information, Reportf for diagnostics —
+// so the suite can migrate to the real framework wholesale if the
+// dependency ever becomes available. Only the stdlib go/ast, go/token
+// and go/types packages are used.
+//
+// # Suppression
+//
+// A comment of the form
+//
+//	//paperlint:ignore analyzer[,analyzer...] reason
+//
+// suppresses the named analyzers. Placed in the file header (before or
+// attached to the package clause) it suppresses them for the whole
+// file; placed on or immediately above an offending line it suppresses
+// diagnostics on that line only. The reason text is free-form but
+// should say why the construct is safe (e.g. "order-independent
+// uint64 sum").
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position // resolved file:line:col
+	Analyzer string         // analyzer name
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one static check. Run inspects the Pass's package and
+// reports findings through pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //paperlint:ignore directives. Lowercase, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run performs the check. A non-nil error aborts the whole lint run
+	// (reserved for internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// directivePrefix introduces every paperlint comment directive.
+const directivePrefix = "//paperlint:"
+
+// ignores records the //paperlint:ignore directives of one file.
+type ignores struct {
+	file map[string]bool         // analyzer -> suppressed for whole file
+	line map[int]map[string]bool // line -> analyzer -> suppressed
+}
+
+// parseIgnores walks a file's comments for ignore directives. Header
+// placement (any comment line before or on the package clause line)
+// makes the directive file-wide; anywhere else it applies to its own
+// line and the line below, so it can trail the offending statement or
+// sit on its own line above it.
+func parseIgnores(fset *token.FileSet, f *ast.File) ignores {
+	ig := ignores{file: map[string]bool{}, line: map[int]map[string]bool{}}
+	pkgLine := fset.Position(f.Package).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix+"ignore")
+			if !ok {
+				continue
+			}
+			names := parseAnalyzerList(rest)
+			if len(names) == 0 {
+				continue
+			}
+			ln := fset.Position(c.Pos()).Line
+			if ln <= pkgLine {
+				for _, n := range names {
+					ig.file[n] = true
+				}
+				continue
+			}
+			for _, target := range []int{ln, ln + 1} {
+				m := ig.line[target]
+				if m == nil {
+					m = map[string]bool{}
+					ig.line[target] = m
+				}
+				for _, n := range names {
+					m[n] = true
+				}
+			}
+		}
+	}
+	return ig
+}
+
+// parseAnalyzerList extracts analyzer names from the text after
+// "//paperlint:ignore": the first whitespace-delimited field is a
+// comma-separated list of analyzer names; everything after it is the
+// free-form reason. A field containing anything but lowercase names
+// yields no suppression at all, so a typo fails loudly (the diagnostic
+// survives) instead of silently widening the ignore.
+func parseAnalyzerList(s string) []string {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return nil
+	}
+	var names []string
+	for _, part := range strings.Split(fields[0], ",") {
+		if part == "" {
+			continue
+		}
+		if !isAnalyzerName(part) {
+			return nil
+		}
+		names = append(names, part)
+	}
+	return names
+}
+
+func isAnalyzerName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < 'a' || r > 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+// Run applies the analyzers to one type-checked package and returns the
+// surviving (unsuppressed) diagnostics sorted by position.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	perFile := make(map[string]ignores, len(files))
+	for _, f := range files {
+		perFile[fset.Position(f.Package).Filename] = parseIgnores(fset, f)
+	}
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report: func(d Diagnostic) {
+				ig, ok := perFile[d.Pos.Filename]
+				if ok && (ig.file[d.Analyzer] || ig.line[d.Pos.Line][d.Analyzer]) {
+					return
+				}
+				out = append(out, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
+		}
+	}
+	Sort(out)
+	return out, nil
+}
+
+// Sort orders diagnostics by file, line, column, analyzer, message —
+// the stable order the driver prints and serializes.
+func Sort(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// All returns the production-configured analyzer suite in reporting
+// order. The powtwo analyzer takes the repository's real target tables;
+// tests swap in testdata-local ones.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism(),
+		HotAlloc(),
+		PowTwo(DefaultPowTwoConfig()),
+		CtxCheck(),
+		ErrFmt(),
+	}
+}

@@ -1,0 +1,204 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against // want comments — the stdlib-only
+// counterpart of golang.org/x/tools/go/analysis/analysistest.
+//
+// Test packages live in testdata/src/<importpath>/ (the GOPATH-style
+// layout the x/tools harness uses). A line expecting diagnostics
+// carries one comment with one quoted regular expression per expected
+// diagnostic:
+//
+//	for k := range m { // want `range over map`
+//
+// Imports between testdata packages resolve within testdata/src;
+// standard-library imports are type-checked from source, so the
+// harness needs no compiled export data and works offline.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"twopage/internal/analysis"
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<pkgPath>, applies the analyzers, and reports
+// any mismatch between produced diagnostics and // want expectations as
+// test errors.
+func Run(t *testing.T, testdata, pkgPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	l := newLoader(testdata)
+	pkg, files, err := l.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgPath, err)
+	}
+	diags, err := analysis.Run(l.fset, files, pkg, l.info, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", pkgPath, err)
+	}
+	wants, err := parseWants(l.fset, files)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", pkgPath, err)
+	}
+	for _, d := range diags {
+		if !claimWant(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", posString(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(p.Filename), p.Line, p.Column)
+}
+
+// claimWant marks the first unmatched want on the diagnostic's line
+// whose pattern matches, reporting whether one was found.
+func claimWant(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.rx.MatchString(d.Message) || w.rx.MatchString(d.Analyzer+": "+d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRx matches the comment payload: `// want "rx"` or backquoted
+// forms, possibly several per comment.
+var wantArgRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func parseWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var out []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if !strings.HasPrefix(text, "//") || i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantArgRx.FindAllString(text[i+len("want "):], -1) {
+					var raw string
+					if m[0] == '`' {
+						raw = m[1 : len(m)-1]
+					} else {
+						var err error
+						raw, err = strconv.Unquote(m)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %s: %w", pos.Filename, pos.Line, m, err)
+						}
+					}
+					rx, err := regexp.Compile(raw)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %w", pos.Filename, pos.Line, raw, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, rx: rx, raw: raw})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out, nil
+}
+
+// loader type-checks testdata packages, resolving imports first within
+// testdata/src and then from the standard library's source.
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	info     *types.Info
+	std      types.Importer
+	loaded   map[string]*types.Package
+}
+
+func newLoader(testdata string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		testdata: testdata,
+		fset:     fset,
+		info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		},
+		std:    importer.ForCompiler(fset, "source", nil),
+		loaded: map[string]*types.Package{},
+	}
+}
+
+func (l *loader) load(pkgPath string) (*types.Package, []*ast.File, error) {
+	dir := filepath.Join(l.testdata, "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	cfg := types.Config{Importer: l}
+	pkg, err := cfg.Check(pkgPath, l.fset, files, l.info)
+	if err != nil {
+		return nil, nil, err
+	}
+	l.loaded[pkgPath] = pkg
+	return pkg, files, nil
+}
+
+// Import implements types.Importer over testdata-local packages first,
+// standard library second.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	local := filepath.Join(l.testdata, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(local); err == nil && st.IsDir() {
+		pkg, _, err := l.load(path)
+		return pkg, err
+	}
+	return l.std.Import(path)
+}

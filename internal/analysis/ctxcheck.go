@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// refConsumers are the method/function names that advance a reference
+// stream or drive per-reference simulation work. A loop around one of
+// these can run for the whole trace (hundreds of millions of
+// iterations at full scale), which is exactly the loop that must poll
+// cancellation.
+var refConsumers = map[string]bool{
+	"Read":    true,
+	"Access":  true,
+	"Assign":  true,
+	"Step":    true,
+	"Observe": true,
+}
+
+// CtxCheck returns the analyzer enforcing the PR 1 cancellation
+// contract: a function that accepts a context and then processes a
+// reference stream must poll that context at a bounded interval. The
+// concrete rule: inside any function with a context.Context parameter,
+// a non-range for loop whose body calls a reference-consuming method
+// (Read, Access, Assign, Step, Observe) must mention the context —
+// ctx.Err(), ctx.Done(), or passing ctx to a helper that checks it.
+//
+// Range loops are exempt: they are bounded by their operand (a decoded
+// batch of at most 8192 references), which is the granularity the
+// contract allows between polls. The dangerous shape is the unbounded
+// for {} or for cond {} drain loop that would run to the end of a
+// multi-hundred-million-reference trace after the caller has given up.
+func CtxCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxcheck",
+		Doc:  "flags unbounded reference-processing loops that do not poll their context",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						checkCtxFunc(pass, n.Type, n.Body)
+					}
+				case *ast.FuncLit:
+					checkCtxFunc(pass, n.Type, n.Body)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkCtxFunc inspects one function that may hold a context parameter.
+func checkCtxFunc(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	ctxVars := contextParams(pass.TypesInfo, ft)
+	if len(ctxVars) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false // nested functions are checked on their own visit
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		if !callsRefConsumer(pass.TypesInfo, loop) {
+			return true
+		}
+		if mentionsAny(pass.TypesInfo, loop, ctxVars) {
+			return true
+		}
+		pass.Reportf(loop.Pos(), "unbounded loop consumes references without polling ctx; check ctx.Err() (or pass ctx to the drain helper) at a bounded batch interval")
+		return true
+	})
+}
+
+// contextParams collects the function's parameters of type
+// context.Context.
+func contextParams(info *types.Info, ft *ast.FuncType) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			v, ok := info.Defs[name].(*types.Var)
+			if ok && isContextType(v.Type()) {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// callsRefConsumer reports whether the loop body (excluding nested
+// function literals) calls a reference-consuming method.
+func callsRefConsumer(info *types.Info, loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(info, call); fn != nil && refConsumers[fn.Name()] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsAny reports whether any identifier in the loop (condition or
+// body, including calls that forward the variable) resolves to one of
+// the given variables.
+func mentionsAny(info *types.Info, node ast.Node, vars map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok && vars[v] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

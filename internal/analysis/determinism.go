@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism returns the analyzer that guards byte-identical
+// experiment output. Three constructs silently break the "same table
+// for any -j" contract (golden corpus, j1-vs-j8 tests) and are flagged
+// in every package that feeds rendered output:
+//
+//   - range over a map: Go randomizes iteration order per run, so any
+//     map-fed table row, note, or accumulation with order-dependent
+//     semantics differs between runs. Iterate sorted keys instead, or
+//     suppress with a justification when the reduction is provably
+//     order-independent (e.g. integer sums).
+//   - time.Now: wall-clock values must never reach rendered output;
+//     timing belongs on stderr or in explicitly masked golden cells.
+//   - global math/rand: the shared source's stream depends on every
+//     other consumer in the process (and on Go version). Use an
+//     explicitly seeded rand.New(rand.NewSource(seed)) or the repo's
+//     xorshift generators.
+func Determinism() *Analyzer {
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "flags map iteration, time.Now and unseeded math/rand in output-feeding packages",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+						if _, ok := t.Underlying().(*types.Map); ok && !isKeyCollect(n) {
+							pass.Reportf(n.Pos(), "range over map %s: iteration order is randomized; iterate sorted keys (or justify with //paperlint:ignore determinism)", exprString(n.X))
+						}
+					}
+				case *ast.CallExpr:
+					fn := calleeFunc(pass.TypesInfo, n)
+					if fn == nil || fn.Pkg() == nil {
+						return true
+					}
+					switch fn.Pkg().Path() {
+					case "time":
+						if fn.Name() == "Now" {
+							pass.Reportf(n.Pos(), "time.Now in an output-feeding package: wall-clock values break byte-identical output")
+						}
+					case "math/rand", "math/rand/v2":
+						if isPackageLevel(fn) && !isRandConstructor(fn.Name()) {
+							pass.Reportf(n.Pos(), "%s.%s uses the global rand source: seed an explicit rand.New(rand.NewSource(...)) instead", fn.Pkg().Name(), fn.Name())
+						}
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// isKeyCollect recognizes the first half of the canonical
+// sort-the-keys fix — a map range whose body does nothing but append
+// keys/values to slices:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Slice(keys, ...)
+//
+// The collection itself is order-independent once the slice is sorted,
+// so it is exempt; every other map-range body is flagged.
+func isKeyCollect(r *ast.RangeStmt) bool {
+	if len(r.Body.List) == 0 || len(r.Body.List) > 2 {
+		return false
+	}
+	for _, st := range r.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			return false
+		}
+	}
+	return true
+}
+
+// isRandConstructor reports whether a math/rand package-level function
+// builds an independent generator rather than consuming the global one.
+func isRandConstructor(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}
+
+// isPackageLevel reports whether fn is a package-level function (not a
+// method), i.e. a call through the package's global state for math/rand.
+func isPackageLevel(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for
+// builtins, conversions and indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// exprString renders a short source form of simple expressions for
+// diagnostics (identifiers, selectors, indexes); anything else prints
+// as "expression".
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	}
+	return "expression"
+}

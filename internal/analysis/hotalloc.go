@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc returns the analyzer enforcing zero steady-state allocations
+// in annotated hot paths. A function (or function literal) marked with
+// a //paperlint:hot comment — the trace decode loop, the TLB access
+// path, the working-set step, the core simulate loop — must not contain
+// allocation-inducing constructs:
+//
+//   - calls into fmt (formatting allocates for the variadic box and the
+//     result string);
+//   - string concatenation with + (builds a new string per evaluation);
+//   - append, make, new;
+//   - slice/map composite literals and &T{} (escaping composites);
+//   - function literals that capture enclosing variables (the closure
+//     and its captured cells are heap-allocated);
+//   - explicit conversions to interface types (the boxed value
+//     escapes).
+//
+// One-time warm-up allocations (growing a scratch buffer on first use)
+// are legitimate; suppress them line by line with
+// //paperlint:ignore hotalloc and a justification. The AllocsPerRun==0
+// tests remain the runtime backstop; this analyzer catches regressions
+// at lint time and names the construct.
+func HotAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotalloc",
+		Doc:  "flags allocation-inducing constructs inside //paperlint:hot functions",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			hotLines := hotDirectiveLines(pass.Fset, f)
+			if len(hotLines) == 0 {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil && isHotDecl(pass.Fset, n, hotLines) {
+						checkHotBody(pass, n.Body, n.Name.Name)
+						return false // the body is fully checked; don't re-enter
+					}
+				case *ast.FuncLit:
+					if isHotLit(pass.Fset, n, hotLines) {
+						checkHotBody(pass, n.Body, "func literal")
+						return false
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// hotDirectiveLines collects the line numbers of //paperlint:hot
+// comments in f.
+func hotDirectiveLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, directivePrefix+"hot") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// isHotDecl reports whether the declaration carries the hot directive:
+// inside its doc comment group or on the line directly above the func
+// keyword.
+func isHotDecl(fset *token.FileSet, d *ast.FuncDecl, hot map[int]bool) bool {
+	if d.Doc != nil {
+		for _, c := range d.Doc.List {
+			if strings.HasPrefix(c.Text, directivePrefix+"hot") {
+				return true
+			}
+		}
+	}
+	return hot[fset.Position(d.Pos()).Line-1]
+}
+
+// isHotLit reports whether a function literal carries the hot
+// directive on its own line or the line above.
+func isHotLit(fset *token.FileSet, lit *ast.FuncLit, hot map[int]bool) bool {
+	ln := fset.Position(lit.Pos()).Line
+	return hot[ln] || hot[ln-1]
+}
+
+// checkHotBody walks one hot function body reporting allocation
+// constructs. name labels diagnostics.
+func checkHotBody(pass *Pass, body *ast.BlockStmt, name string) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Conversions to interface types box their operand.
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+				if t := tv.Type; t != nil && types.IsInterface(t.Underlying()) && len(n.Args) == 1 {
+					if at := info.TypeOf(n.Args[0]); at != nil && !types.IsInterface(at.Underlying()) {
+						pass.Reportf(n.Pos(), "hot %s: conversion to interface type %s allocates", name, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+					}
+				}
+				return true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "append":
+						pass.Reportf(n.Pos(), "hot %s: append may grow and reallocate; preallocate outside the hot path", name)
+					case "make", "new":
+						pass.Reportf(n.Pos(), "hot %s: %s allocates; hoist to construction or first-use guard (//paperlint:ignore hotalloc with justification)", name, b.Name())
+					}
+					return true
+				}
+			}
+			if fn := calleeFunc(info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				pass.Reportf(n.Pos(), "hot %s: fmt.%s allocates (variadic boxing and formatting)", name, fn.Name())
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n)) {
+				pass.Reportf(n.Pos(), "hot %s: string concatenation allocates per evaluation", name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
+				pass.Reportf(n.Pos(), "hot %s: string += allocates per evaluation", name)
+			}
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "hot %s: %s literal allocates", name, kindName(t))
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "hot %s: &composite literal escapes to the heap", name)
+				}
+			}
+		case *ast.FuncLit:
+			if capturesOuter(info, n) {
+				pass.Reportf(n.Pos(), "hot %s: closure captures enclosing variables and allocates", name)
+			}
+			// Nested literal bodies are still within the hot region;
+			// keep walking them.
+		}
+		return true
+	})
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+// capturesOuter reports whether a function literal references variables
+// declared outside itself (other than package-level ones): those become
+// heap-allocated captures.
+func capturesOuter(info *types.Info, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are static, not captures.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}

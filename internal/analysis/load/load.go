@@ -1,0 +1,176 @@
+// Package load type-checks the module's packages for paperlint. It
+// discovers packages with `go list -json` (so build constraints and
+// file lists always match the real build) and resolves standard-library
+// imports through the source importer, which needs no export data and
+// works offline. Only the standard library is used.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked module package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	// Deps holds the transitive dependency import paths as reported by
+	// go list; the driver uses it for reachability scoping.
+	Deps map[string]bool
+}
+
+// Result carries every loaded module package plus the shared file set
+// and type information the analyzers consume.
+type Result struct {
+	Fset *token.FileSet
+	Info *types.Info
+	Pkgs []*Package // in go list order (lexical by import path)
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Deps       []string
+	Error      *struct{ Err string }
+}
+
+// Load discovers the packages matching patterns in the module rooted at
+// dir and type-checks them, function bodies included.
+func Load(dir string, patterns ...string) (*Result, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := runGoList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset: token.NewFileSet(),
+		info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		},
+		listed: map[string]*listPkg{},
+		loaded: map[string]*Package{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	for _, p := range listed {
+		l.listed[p.ImportPath] = p
+	}
+	res := &Result{Fset: l.fset, Info: l.info}
+	for _, p := range listed {
+		pkg, err := l.load(p.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		res.Pkgs = append(res.Pkgs, pkg)
+	}
+	return res, nil
+}
+
+func runGoList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,Deps,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			msg = strings.TrimSpace(string(ee.Stderr))
+		}
+		return nil, fmt.Errorf("go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// loader type-checks module packages on demand, resolving module-local
+// imports recursively and everything else through the source importer.
+type loader struct {
+	fset   *token.FileSet
+	info   *types.Info
+	std    types.Importer
+	listed map[string]*listPkg
+	loaded map[string]*Package
+}
+
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	lp := l.listed[path]
+	if lp == nil {
+		return nil, fmt.Errorf("package %s not in go list output", path)
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	cfg := types.Config{Importer: l}
+	tpkg, err := cfg.Check(path, l.fset, files, l.info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	deps := make(map[string]bool, len(lp.Deps))
+	for _, d := range lp.Deps {
+		deps[d] = true
+	}
+	pkg := &Package{
+		ImportPath: path,
+		Dir:        lp.Dir,
+		Files:      files,
+		Types:      tpkg,
+		Deps:       deps,
+	}
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: module packages load recursively,
+// everything else falls through to the standard library's source
+// importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.listed[path]; ok {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"twopage/internal/analysis"
+	"twopage/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", "determinism", analysis.Determinism())
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", "hotalloc", analysis.HotAlloc())
+}
+
+func TestPowTwo(t *testing.T) {
+	cfg := analysis.PowTwoConfig{
+		Targets: []analysis.PowTwoTarget{
+			{Func: "powtwo/fake.NewSingle", Args: []int{0}},
+			{Func: "powtwo/fake.Measure", Rest: 1},
+		},
+		Geometries: []analysis.PowTwoGeometry{
+			{
+				Type:       "powtwo/fake.Config",
+				PowFields:  []string{"Block"},
+				TotalField: "Entries",
+				WaysField:  "Ways",
+			},
+		},
+		Validators: []string{"MustPow2"},
+	}
+	analysistest.Run(t, "testdata", "powtwo", analysis.PowTwo(cfg))
+}
+
+func TestCtxCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", "ctxcheck", analysis.CtxCheck())
+}
+
+func TestErrFmt(t *testing.T) {
+	analysistest.Run(t, "testdata", "errfmt", analysis.ErrFmt())
+}

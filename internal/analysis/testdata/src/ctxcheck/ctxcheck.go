@@ -1,0 +1,69 @@
+package ctxcheck
+
+import "context"
+
+type reader struct{}
+
+func (r *reader) Read() (int, bool) { return 0, false }
+
+func drainNoPoll(ctx context.Context, r *reader) {
+	for { // want `without polling ctx`
+		if _, ok := r.Read(); !ok {
+			return
+		}
+	}
+}
+
+func drainPoll(ctx context.Context, r *reader) {
+	n := 0
+	for {
+		if n%8192 == 0 && ctx.Err() != nil {
+			return
+		}
+		if _, ok := r.Read(); !ok {
+			return
+		}
+		n++
+	}
+}
+
+// drainNoCtx takes no context, so there is nothing to poll.
+func drainNoCtx(r *reader) {
+	for {
+		if _, ok := r.Read(); !ok {
+			return
+		}
+	}
+}
+
+// batchRange loops over a decoded batch: bounded, exempt.
+func batchRange(ctx context.Context, batch []int, r *reader) {
+	for range batch {
+		if _, ok := r.Read(); !ok {
+			return
+		}
+	}
+}
+
+// nestedLit's literal has no context parameter of its own; function
+// literals are checked against their own signature, not the enclosing
+// one, so the loop is not flagged.
+func nestedLit(ctx context.Context, r *reader) {
+	helper := func(r *reader) {
+		for {
+			if _, ok := r.Read(); !ok {
+				return
+			}
+		}
+	}
+	helper(r)
+}
+
+func drainSuppressed(ctx context.Context, r *reader) {
+	//paperlint:ignore ctxcheck stream is at most one batch long here
+	for {
+		if _, ok := r.Read(); !ok {
+			return
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func rangesMap(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map m`
+		total += v
+	}
+	return total
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // exempt: canonical key collection before sorting
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func clock() int64 {
+	return time.Now().UnixNano() // want `time.Now`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand source`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func justified(m map[uint64]uint64) uint64 {
+	var sum uint64
+	//paperlint:ignore determinism order-independent uint64 sum
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

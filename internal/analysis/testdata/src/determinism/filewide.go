@@ -1,0 +1,8 @@
+//paperlint:ignore determinism timing in this file is masked before rendering
+package determinism
+
+import "time"
+
+func maskedClock() int64 {
+	return time.Now().Unix()
+}

@@ -1,0 +1,47 @@
+package errfmt
+
+import (
+	"errors"
+	"fmt"
+)
+
+type file struct{}
+
+func (f *file) Close() error { return nil }
+
+var errBase = errors.New("base")
+
+func wrapNoVerb(err error) error {
+	return fmt.Errorf("open trace: %v", err) // want `without %w`
+}
+
+func wrapGood(err error) error {
+	return fmt.Errorf("open trace: %w", err)
+}
+
+func wrapNoErrArg(name string) error {
+	return fmt.Errorf("open %s: size mismatch", name)
+}
+
+func dropped(f *file) {
+	f.Close() // want `silently dropped`
+}
+
+func discarded(f *file) {
+	_ = f.Close()
+}
+
+func deferred(f *file) {
+	defer f.Close()
+}
+
+func handled(f *file) error {
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close trace: %w", err)
+	}
+	return nil
+}
+
+func suppressedDrop(f *file) {
+	f.Close() //paperlint:ignore errfmt best-effort close on an error path
+}

@@ -1,0 +1,47 @@
+package hotalloc
+
+import "fmt"
+
+type point struct{ x, y int }
+
+//paperlint:hot
+func hotBad(xs []int, a, b string) string {
+	s := make([]int, 8)         // want `make allocates`
+	xs = append(xs, 1)          // want `append may grow`
+	m := map[int]int{}          // want `map literal allocates`
+	sl := []int{1, 2}           // want `slice literal allocates`
+	p := &point{}               // want `composite literal escapes`
+	msg := fmt.Sprintf("%d", 1) // want `fmt.Sprintf allocates`
+	cat := a + b                // want `string concatenation allocates`
+	cat += a                    // want `string \+= allocates`
+	var boxed any = any(s[0])   // want `conversion to interface type any allocates`
+	n := 0
+	f := func() { n++ } // want `closure captures enclosing variables`
+	f()
+	_, _, _, _, _, _, _ = m, sl, p, msg, cat, boxed, xs
+	return cat
+}
+
+// coldAlloc is identical but unannotated: nothing is reported.
+func coldAlloc(xs []int) []int {
+	s := make([]int, 8)
+	xs = append(xs, s...)
+	return xs
+}
+
+func driver() {
+	//paperlint:hot
+	step := func(buf []byte) {
+		_ = make([]byte, 1) // want `make allocates`
+		_ = buf
+	}
+	step(nil)
+}
+
+//paperlint:hot
+func hotWarmup(buf []byte) []byte {
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 64) //paperlint:ignore hotalloc one-time warm-up growth
+	}
+	return buf
+}

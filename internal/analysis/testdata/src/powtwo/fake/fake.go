@@ -1,0 +1,18 @@
+// Package fake mirrors the constructor shapes the powtwo analyzer
+// targets in the real repository, so the analyzer's argument and
+// geometry rules can be exercised hermetically.
+package fake
+
+type PageSize int
+
+func NewSingle(size int) PageSize { return PageSize(size) }
+
+func Measure(name string, sizes ...int) int { return len(sizes) }
+
+type Config struct {
+	Entries int
+	Ways    int
+	Block   int
+}
+
+func MustPow2(v int) int { return v }

@@ -1,0 +1,24 @@
+package powtwo
+
+import "powtwo/fake"
+
+func construct(n int) {
+	fake.NewSingle(4096)
+	fake.NewSingle(3000)             // want `not a positive power of two`
+	fake.NewSingle(n)                // want `non-constant page size`
+	fake.NewSingle(fake.MustPow2(n)) // validated at runtime: accepted
+	fake.Measure("wss", 4096, 8192)
+	fake.Measure("wss", 4096, 12345) // want `not a positive power of two`
+	sizes := []int{4096}
+	fake.Measure("wss", sizes...) // spread slice: contents not statically visible
+}
+
+func geometry() {
+	_ = fake.Config{Entries: 64, Ways: 4, Block: 64}
+	_ = fake.Config{Entries: 48, Ways: 3}            // 16 sets: fine
+	_ = fake.Config{Entries: 64, Ways: 3}            // want `do not divide`
+	_ = fake.Config{Entries: 96, Ways: 4}            // want `24 sets, not a power of two`
+	_ = fake.Config{Entries: 64, Ways: 4, Block: 48} // want `Block is 48, not a power of two`
+	_ = fake.Config{Entries: 64}                     // fully associative: one set
+	_ = fake.Config{Entries: 96, Ways: 4}            //paperlint:ignore powtwo deliberately odd stress geometry
+}

@@ -110,6 +110,7 @@ func NewSimulator(pol policy.Assigner, tlbs []tlb.TLB, opts ...Option) *Simulato
 // simulation stops mid-trace and Run returns the context's error.
 func (s *Simulator) Run(ctx context.Context, r trace.Reader) (*Result, error) {
 	var refs, instrs uint64
+	//paperlint:hot
 	_, err := trace.DrainContext(ctx, r, func(batch []trace.Ref) {
 		for _, ref := range batch {
 			refs++

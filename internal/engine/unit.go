@@ -39,7 +39,7 @@ func (p PolicySpec) New() (policy.Assigner, error) {
 		if !p.Single.Valid() {
 			return nil, fmt.Errorf("engine: invalid page size %d", p.Single)
 		}
-		return policy.NewSingle(p.Single), nil
+		return policy.NewSingle(addr.MustPow2(p.Single)), nil
 	}
 	if p.Two.DenyPromotion != nil {
 		return nil, fmt.Errorf("engine: DenyPromotion hooks cannot be memoized; use an opaque task")

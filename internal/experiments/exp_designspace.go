@@ -52,7 +52,7 @@ func DesignSpace(ctx context.Context, o *Options) (*tableio.Table, error) {
 					return designSpaceRow{}, err
 				}
 				var instrs uint64
-				startSweep := time.Now()
+				startSweep := time.Now() //paperlint:ignore determinism wall time lands in the cell golden_test masks to "T"
 				if err := drainInto(ctx, s.New(refs), func(batch []trace.Ref) {
 					for _, ref := range batch {
 						if ref.Kind == trace.Instr {
@@ -68,7 +68,7 @@ func DesignSpace(ctx context.Context, o *Options) (*tableio.Table, error) {
 				// One comparable direct simulation (a single 16-entry FA TLB).
 				direct := tlb.NewFullyAssoc(16)
 				pol := policy.NewSingle(addr.Size4K)
-				startDirect := time.Now()
+				startDirect := time.Now() //paperlint:ignore determinism wall time lands in the cell golden_test masks to "T"
 				if err := drainInto(ctx, s.New(refs), func(batch []trace.Ref) {
 					for _, ref := range batch {
 						res := pol.Assign(ref.Addr)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"sort"
 
 	"twopage/internal/addr"
 	"twopage/internal/engine"
@@ -102,12 +103,18 @@ func oracleRegions(ctx context.Context, s workload.Spec, refs uint64) ([]policy.
 		return nil, err
 	}
 	dense := map[addr.PN]int{}
+	//paperlint:ignore determinism count increments are order-independent
 	for b := range blocks {
 		dense[addr.ChunkOfBlock(b)]++
 	}
+	chunks := make([]addr.PN, 0, len(dense))
+	for c := range dense {
+		chunks = append(chunks, c)
+	}
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i] < chunks[j] })
 	var ranges []policy.Range
-	for c, n := range dense {
-		if n >= addr.BlocksPerChunk/2 {
+	for _, c := range chunks {
+		if dense[c] >= addr.BlocksPerChunk/2 {
 			ranges = append(ranges, policy.Range{
 				Start: addr.VA(uint64(c) << addr.ChunkShift),
 				End:   addr.VA((uint64(c) + 1) << addr.ChunkShift),

@@ -40,12 +40,21 @@ type Stats struct {
 	Coalesces uint64
 }
 
-// Allocator is a binary buddy allocator over a fixed pool of 4KB frames.
+// Allocator is a binary buddy allocator over a fixed pool of 4KB
+// frames. Free blocks are tracked in one bitmap per order (bit i of
+// order o covers the aligned block with head i<<o), and allocation
+// always takes the lowest free address. That makes the allocator fully
+// deterministic — same request sequence, same frames, same stats —
+// which the experiment layer's byte-identical-output contract depends
+// on (a map-keyed free list would hand out frames in randomized
+// iteration order).
 type Allocator struct {
 	frames    uint64
-	free      [maxOrder + 1]map[addr.PN]bool // free block heads per order
-	allocated map[addr.PN]int                // block head -> order
-	freeCnt   uint64                         // free 4KB frames
+	free      [maxOrder + 1]bitset
+	freeLen   [maxOrder + 1]int // set bits per order
+	hint      [maxOrder + 1]int // lowest word that may hold a set bit
+	allocated map[addr.PN]int   // block head -> order
+	freeCnt   uint64            // free 4KB frames
 	stats     Stats
 }
 
@@ -60,13 +69,58 @@ func New(size addr.PageSize) (*Allocator, error) {
 		allocated: make(map[addr.PN]int),
 	}
 	for o := range a.free {
-		a.free[o] = make(map[addr.PN]bool)
+		a.free[o] = newBitset(a.frames >> o)
 	}
 	for f := addr.PN(0); uint64(f) < a.frames; f += 1 << OrderLarge {
-		a.free[OrderLarge][f] = true
+		a.setFree(OrderLarge, f)
 	}
 	a.freeCnt = a.frames
 	return a, nil
+}
+
+// bitset is a fixed-size bitmap.
+type bitset []uint64
+
+func newBitset(n uint64) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) get(i uint64) bool { return b[i>>6]&(1<<(i&63)) != 0 }
+func (b bitset) set(i uint64)      { b[i>>6] |= 1 << (i & 63) }
+func (b bitset) clear(i uint64)    { b[i>>6] &^= 1 << (i & 63) }
+
+// setFree marks the block with the given head free at order o.
+func (a *Allocator) setFree(o int, head addr.PN) {
+	i := uint64(head) >> o
+	a.free[o].set(i)
+	a.freeLen[o]++
+	if w := int(i >> 6); w < a.hint[o] {
+		a.hint[o] = w
+	}
+}
+
+// clearFree unmarks a known-free block.
+func (a *Allocator) clearFree(o int, head addr.PN) {
+	a.free[o].clear(uint64(head) >> o)
+	a.freeLen[o]--
+}
+
+// takeLowest removes and returns the lowest free head at order o. The
+// per-order hint makes the word scan amortized O(1): it only moves
+// forward past exhausted words and is pulled back when a lower block is
+// freed.
+func (a *Allocator) takeLowest(o int) (addr.PN, bool) {
+	if a.freeLen[o] == 0 {
+		return 0, false
+	}
+	w := a.hint[o]
+	for a.free[o][w] == 0 {
+		w++
+	}
+	a.hint[o] = w
+	word := a.free[o][w]
+	i := uint64(w)<<6 | uint64(bits.TrailingZeros64(word))
+	a.free[o][w] = word & (word - 1)
+	a.freeLen[o]--
+	return addr.PN(i << o), true
 }
 
 // MustNew is New, panicking on error.
@@ -87,19 +141,21 @@ func (a *Allocator) TotalFrames() uint64 { return a.frames }
 // Stats returns a snapshot of the counters.
 func (a *Allocator) Stats() Stats { return a.stats }
 
-// allocOrder finds (splitting as needed) a free block of the order.
+// allocOrder finds (splitting as needed) the lowest-addressed free
+// block of the order.
 func (a *Allocator) allocOrder(order int) (addr.PN, bool) {
 	for o := order; o <= maxOrder; o++ {
-		for head := range a.free[o] {
-			delete(a.free[o], head)
-			// Split down to the requested order, freeing upper buddies.
-			for cur := o; cur > order; cur-- {
-				buddy := head + 1<<(cur-1)
-				a.free[cur-1][buddy] = true
-				a.stats.Splits++
-			}
-			return head, true
+		head, ok := a.takeLowest(o)
+		if !ok {
+			continue
 		}
+		// Split down to the requested order, freeing upper buddies.
+		for cur := o; cur > order; cur-- {
+			buddy := head + 1<<(cur-1)
+			a.setFree(cur-1, buddy)
+			a.stats.Splits++
+		}
+		return head, true
 	}
 	return 0, false
 }
@@ -152,24 +208,24 @@ func (a *Allocator) Free(head addr.PN) error {
 	}
 	for order < maxOrder {
 		buddy := head ^ (1 << order)
-		if !a.free[order][buddy] {
+		if !a.free[order].get(uint64(buddy) >> order) {
 			break
 		}
-		delete(a.free[order], buddy)
+		a.clearFree(order, buddy)
 		if buddy < head {
 			head = buddy
 		}
 		order++
 		a.stats.Coalesces++
 	}
-	a.free[order][head] = true
+	a.setFree(order, head)
 	return nil
 }
 
 // LargeCapacity returns how many aligned 32KB allocations could succeed
 // right now — a direct external-fragmentation probe.
 func (a *Allocator) LargeCapacity() int {
-	return len(a.free[OrderLarge])
+	return a.freeLen[OrderLarge]
 }
 
 // FragmentationRatio returns 1 − (satisfiable large frames × 8) / free

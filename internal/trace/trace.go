@@ -459,7 +459,7 @@ func (tr *TextReader) Read(batch []Ref) (int, error) {
 		}
 		v, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
 		if err != nil {
-			tr.err = fmt.Errorf("trace: line %d: bad address %q: %v", tr.line, fields[1], err)
+			tr.err = fmt.Errorf("trace: line %d: bad address %q: %w", tr.line, fields[1], err)
 			return n, tr.err
 		}
 		batch[n] = Ref{Addr: addr.VA(v), Kind: k}

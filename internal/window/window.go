@@ -22,6 +22,7 @@ package window
 
 import (
 	"fmt"
+	"sort"
 
 	"twopage/internal/addr"
 )
@@ -159,10 +160,16 @@ func (w *Tracker) ActiveBlocksOf(c addr.PN) []uint {
 }
 
 // ActiveChunks calls fn for every chunk with at least one active block,
-// with its active-block count. Iteration order is unspecified. O(active
-// chunks); intended for periodic sampling, not the per-reference path.
+// with its active-block count, in ascending chunk order. O(active
+// chunks log active chunks); intended for periodic sampling, not the
+// per-reference path.
 func (w *Tracker) ActiveChunks(fn func(c addr.PN, blocks int)) {
-	for c, n := range w.chunkActive {
-		fn(c, int(n))
+	chunks := make([]addr.PN, 0, len(w.chunkActive))
+	for c := range w.chunkActive {
+		chunks = append(chunks, c)
+	}
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i] < chunks[j] })
+	for _, c := range chunks {
+		fn(c, int(w.chunkActive[c]))
 	}
 }

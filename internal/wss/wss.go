@@ -80,7 +80,11 @@ func NewStatic(T uint64, shifts ...uint) *Static {
 	return s
 }
 
-// Step observes one reference. Time advances by one per call.
+// Step observes one reference. Time advances by one per call. This is
+// the per-reference hot path: the AllocsPerRun test pins it to zero
+// steady-state allocations (map growth aside, which amortizes out).
+//
+//paperlint:hot
 func (s *Static) Step(va addr.VA) {
 	if s.done {
 		panic("wss: Step after Finish")
@@ -110,6 +114,7 @@ func (s *Static) Finish() []Result {
 	out := make([]Result, len(s.shifts))
 	for i, shift := range s.shifts {
 		acc := s.acc[i]
+		//paperlint:ignore determinism uint64 accumulation is order-independent
 		for _, lastT := range s.last[i] {
 			gap := s.steps - lastT
 			if gap > s.t {
