@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK = honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK = golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: all build test verify lint paperlint lint-extra bench bench-trace golden golden-update paper
+.PHONY: all build test verify lint paperlint lint-extra bench bench-trace bench-report golden golden-update paper
 
 all: build
 
@@ -60,6 +60,16 @@ bench:
 # decode throughput over the real workload generators.
 bench-trace:
 	$(GO) test -run TestTraceBenchReport -tracebench -count 1 .
+
+# bench-report regenerates BENCH_run.json: the full experiment suite's
+# run report (internal/obs schema) at a reduced scale. The counter
+# sections are deterministic for a given scale, so a diff against the
+# committed file shows exactly which simulation volumes an intentional
+# change moved (wall_ms/parallelism are the only fields expected to
+# churn).
+REPORT_SCALE ?= 0.05
+bench-report:
+	$(GO) run ./cmd/paper -scale $(REPORT_SCALE) -stats BENCH_run.json all > /dev/null
 
 # golden checks the rendered output of every experiment byte-for-byte
 # against testdata/golden; golden-update re-blesses the corpus after an

@@ -6,6 +6,7 @@
 //
 //	paper [-scale f] [-j n] [-csv|-json] [-workloads a,b,c] [experiment ...]
 //	paper -trace li.trc tlbsweep      # run experiments over a trace file
+//	paper -stats report.json all      # also write a JSON run report
 //	paper -list
 //
 // With no experiment arguments (or "all"), every experiment runs in
@@ -15,7 +16,14 @@
 // Experiments execute concurrently over one shared engine: -j bounds
 // the simulation worker pool, identical passes are simulated once, and
 // tables are printed in request order — stdout is byte-identical for
-// any -j. Timing and -progress reports go to stderr.
+// any -j. Timing and -progress reports go to stderr, as does the
+// -stats run report when its destination is "-" (the report's counter
+// sections are themselves identical for any -j; see internal/obs).
+//
+// A failed experiment does not abort the run: every successful table is
+// still printed, every failure is reported on stderr, and the process
+// exits 1 once at the end. SIGINT stops the simulation between batches
+// and exits 130 with a one-line notice.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 
 	"twopage/internal/engine"
 	"twopage/internal/experiments"
+	"twopage/internal/obs"
 	"twopage/internal/plot"
 	"twopage/internal/profiling"
 	"twopage/internal/trace"
@@ -58,35 +67,52 @@ var chartSpec = map[string]struct {
 }
 
 func main() {
-	scale := flag.Float64("scale", 1.0, "trace-length multiplier (1.0 = full size)")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	jsonOut := flag.Bool("json", false, "emit JSON documents instead of aligned tables")
-	chart := flag.Bool("chart", false, "render figures as ASCII bar charts where applicable")
-	list := flag.Bool("list", false, "list available experiments and exit")
-	workloads := flag.String("workloads", "", "comma-separated program subset (default: experiment's own)")
-	traceF := flag.String("trace", "", "run experiments over a trace file instead of the modelled programs")
-	parallelism := flag.Int("j", runtime.NumCPU(), "max concurrent simulation passes")
-	progress := flag.Bool("progress", false, "report each completed simulation pass on stderr")
-	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProf := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] [experiment ...|all]\n\nFlags:\n", os.Args[0])
-		flag.PrintDefaults()
-		fmt.Fprintf(os.Stderr, "\nExperiments (run `%s -list` for details):\n", os.Args[0])
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind a single os.Exit: every error path
+// returns through it, so deferred cleanups — the profile flush above
+// all — always execute. (The old structure called os.Exit(1) from the
+// middle of main, silently truncating -cpuprofile output whenever any
+// experiment failed.)
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("paper", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 1.0, "trace-length multiplier (1.0 = full size)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := fs.Bool("json", false, "emit JSON documents instead of aligned tables")
+	chart := fs.Bool("chart", false, "render figures as ASCII bar charts where applicable")
+	list := fs.Bool("list", false, "list available experiments and exit")
+	workloads := fs.String("workloads", "", "comma-separated program subset (default: experiment's own)")
+	traceF := fs.String("trace", "", "run experiments over a trace file instead of the modelled programs")
+	parallelism := fs.Int("j", runtime.NumCPU(), "max concurrent simulation passes")
+	progress := fs.Bool("progress", false, "report each completed simulation pass on stderr")
+	statsF := fs.String("stats", "", "write a JSON run report to this file (\"-\" = stderr)")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: paper [flags] [experiment ...|all]\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "\nExperiments (run `paper -list` for details):\n")
 		for _, e := range experiments.All() {
-			fmt.Fprintf(os.Stderr, "  %s\n", e.ID)
+			fmt.Fprintf(stderr, "  %s\n", e.ID)
 		}
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-12s %s\n%13s%s\n", e.ID, e.Title, "", e.About)
+			fmt.Fprintf(stdout, "%-12s %s\n%13s%s\n", e.ID, e.Title, "", e.About)
 		}
-		return
+		return 0
 	}
 
-	ids := flag.Args()
+	ids := fs.Args()
 	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
 		ids = nil
 		for _, e := range experiments.All() {
@@ -94,25 +120,28 @@ func main() {
 		}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "paper: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "paper: %v\n", err)
+		return 1
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
-			fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+			fmt.Fprintf(stderr, "paper: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
 		}
 	}()
 
 	if *traceF != "" {
 		name, err := registerTrace(*traceF)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "paper: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "paper: %v\n", err)
+			return 1
 		}
 		// A trace file stands in for the whole program set unless the
 		// user picked an explicit subset.
@@ -121,14 +150,25 @@ func main() {
 		}
 	}
 
+	names, err := splitWorkloads(*workloads)
+	if err != nil {
+		fmt.Fprintf(stderr, "paper: %v\n", err)
+		return 1
+	}
+
 	eopts := []experiments.Opt{
 		experiments.WithScale(*scale),
 		experiments.WithCSV(*csv),
 		experiments.WithJSON(*jsonOut),
 		experiments.WithParallelism(*parallelism),
 	}
-	if *workloads != "" {
-		eopts = append(eopts, experiments.WithWorkloads(strings.Split(*workloads, ",")...))
+	if len(names) > 0 {
+		eopts = append(eopts, experiments.WithWorkloads(names...))
+	}
+	var col *obs.Collector
+	if *statsF != "" {
+		col = obs.NewCollector()
+		eopts = append(eopts, experiments.WithCollector(col))
 	}
 	if *progress {
 		eopts = append(eopts, experiments.WithProgress(func(ev engine.Event) {
@@ -136,7 +176,7 @@ func main() {
 			if ev.CacheHit {
 				tag = " (cached)"
 			}
-			fmt.Fprintf(os.Stderr, "  [%d/%d] %s%s\n", ev.Done, ev.Submitted, ev.Key, tag)
+			fmt.Fprintf(stderr, "  [%d/%d] %s%s\n", ev.Done, ev.Submitted, ev.Key, tag)
 		}))
 	}
 	opts := experiments.NewOptions(eopts...)
@@ -150,33 +190,100 @@ func main() {
 		dur time.Duration
 		err error
 	}
+	start := time.Now()
 	outs := make([]outcome, len(ids))
 	var wg sync.WaitGroup
 	for i, id := range ids {
 		wg.Add(1)
 		go func(i int, id string) {
 			defer wg.Done()
-			start := time.Now()
+			t0 := time.Now()
 			outs[i].err = runOne(ctx, id, opts, *chart, &outs[i].buf)
-			outs[i].dur = time.Since(start)
+			outs[i].dur = time.Since(t0)
 		}(i, id)
 	}
 	wg.Wait()
+	interrupted := ctx.Err() != nil
 
+	// Flush every successful table in request order and report every
+	// failure; one bad experiment must not swallow the others' results.
+	failed, printed := 0, 0
 	for i, id := range ids {
 		if outs[i].err != nil {
-			fmt.Fprintf(os.Stderr, "paper: %v\n", outs[i].err)
-			os.Exit(1)
+			if interrupted && errors.Is(outs[i].err, context.Canceled) {
+				continue // the single "interrupted" notice below covers these
+			}
+			failed++
+			fmt.Fprintf(stderr, "paper: %v\n", outs[i].err)
+			continue
 		}
-		if i > 0 {
-			fmt.Println()
+		if printed > 0 {
+			fmt.Fprintln(stdout)
 		}
-		if _, err := outs[i].buf.WriteTo(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "paper: %v\n", err)
-			os.Exit(1)
+		if _, err := outs[i].buf.WriteTo(stdout); err != nil {
+			fmt.Fprintf(stderr, "paper: %v\n", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "  [%s in %.1fs at scale %g]\n", id, outs[i].dur.Seconds(), *scale)
+		printed++
+		fmt.Fprintf(stderr, "  [%s in %.1fs at scale %g]\n", id, outs[i].dur.Seconds(), *scale)
 	}
+
+	// The run report is written even for failed or interrupted runs:
+	// partial counters are exactly what a post-mortem needs.
+	if *statsF != "" {
+		rep := obs.New("paper")
+		rep.Scale = *scale
+		rep.Workloads = names
+		rep.Parallelism = *parallelism
+		rep.WallMS = time.Since(start).Milliseconds()
+		st := opts.Engine.Stats()
+		rep.Engine = &obs.EngineStats{Submitted: st.Submitted, Done: st.Done, CacheHits: st.CacheHits}
+		rep.Totals = col.Totals()
+		rep.Passes = col.Passes()
+		for i, id := range ids {
+			es := obs.ExperimentStatus{ID: id, WallMS: outs[i].dur.Milliseconds()}
+			if outs[i].err != nil {
+				es.Error = outs[i].err.Error()
+			}
+			rep.Experiments = append(rep.Experiments, es)
+		}
+		if err := rep.Write(*statsF, stderr); err != nil {
+			fmt.Fprintf(stderr, "paper: %v\n", err)
+			if failed == 0 && !interrupted {
+				return 1
+			}
+		}
+	}
+
+	switch {
+	case interrupted:
+		fmt.Fprintln(stderr, "paper: interrupted")
+		return 130
+	case failed > 0:
+		fmt.Fprintf(stderr, "paper: %d of %d experiments failed\n", failed, len(ids))
+		return 1
+	}
+	return 0
+}
+
+// splitWorkloads parses the -workloads flag: entries are comma-separated
+// with surrounding whitespace trimmed and empty entries dropped, so
+// "a, b" and "a,,b" both mean {a, b}. Each name is validated against the
+// workload registry up front, naming the offending token instead of
+// failing later inside an arbitrary experiment.
+func splitWorkloads(s string) ([]string, error) {
+	var names []string
+	for _, f := range strings.Split(s, ",") {
+		name := strings.TrimSpace(f)
+		if name == "" {
+			continue
+		}
+		if _, err := workload.Get(name); err != nil {
+			return nil, fmt.Errorf("-workloads: %w", err)
+		}
+		names = append(names, name)
+	}
+	return names, nil
 }
 
 // registerTrace makes a trace file available as a workload named

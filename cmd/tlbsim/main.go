@@ -7,16 +7,22 @@
 //	tlbsim -workload tomcatv -entries 32 -ways 2 -index large
 //	tlbsim -workload li -two -T 500000 -entries 16 -ways 2 -index exact
 //	tlbsim -trace foo.trc -pagesize 8192        # format sniffed (v2/binary/text)
+//	tlbsim -workload li -stats -                # JSON run report on stderr
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"time"
 
 	"twopage/internal/addr"
 	"twopage/internal/core"
+	"twopage/internal/obs"
 	"twopage/internal/policy"
 	"twopage/internal/profiling"
 	"twopage/internal/tlb"
@@ -25,38 +31,57 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind a single os.Exit, so the deferred
+// profile flush runs on every exit path (the old fatal() helper called
+// os.Exit directly and truncated -cpuprofile output on errors).
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("tlbsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		wl       = flag.String("workload", "", "synthetic workload name (see -listworkloads)")
-		specF    = flag.String("spec", "", "custom workload spec file (see workload.Parse)")
-		refs     = flag.Uint64("refs", 0, "trace length (0 = workload default)")
-		traceF   = flag.String("trace", "", "trace file to simulate instead of a workload")
-		format   = flag.String("format", "auto", "trace file format: auto, v2, binary, or text")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		entries  = flag.Int("entries", 16, "TLB entries")
-		ways     = flag.Int("ways", 0, "associativity (0 = fully associative)")
-		index    = flag.String("index", "exact", "set index scheme: small, large, exact")
-		pageSize = flag.Uint64("pagesize", 4096, "single page size in bytes")
-		two      = flag.Bool("two", false, "use the dynamic 4KB/32KB policy instead of a single size")
-		window   = flag.Int("T", 0, "two-page policy window in refs (0 = refs/8)")
-		thresh   = flag.Int("threshold", 4, "two-page promotion threshold (blocks of 8)")
-		wss      = flag.Bool("wss", false, "also report the two-page working-set size")
-		list     = flag.Bool("listworkloads", false, "list synthetic workloads and exit")
+		wl       = fs.String("workload", "", "synthetic workload name (see -listworkloads)")
+		specF    = fs.String("spec", "", "custom workload spec file (see workload.Parse)")
+		refs     = fs.Uint64("refs", 0, "trace length (0 = workload default)")
+		traceF   = fs.String("trace", "", "trace file to simulate instead of a workload")
+		format   = fs.String("format", "auto", "trace file format: auto, v2, binary, or text")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		statsF   = fs.String("stats", "", "write a JSON run report to this file (\"-\" = stderr)")
+		entries  = fs.Int("entries", 16, "TLB entries")
+		ways     = fs.Int("ways", 0, "associativity (0 = fully associative)")
+		index    = fs.String("index", "exact", "set index scheme: small, large, exact")
+		pageSize = fs.Uint64("pagesize", 4096, "single page size in bytes")
+		two      = fs.Bool("two", false, "use the dynamic 4KB/32KB policy instead of a single size")
+		window   = fs.Int("T", 0, "two-page policy window in refs (0 = refs/8)")
+		thresh   = fs.Int("threshold", 4, "two-page promotion threshold (blocks of 8)")
+		wss      = fs.Bool("wss", false, "also report the two-page working-set size")
+		list     = fs.Bool("listworkloads", false, "list synthetic workloads and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, s := range workload.All() {
-			fmt.Printf("%-10s %s\n", s.Name, s.Description)
+			fmt.Fprintf(stdout, "%-10s %s\n", s.Name, s.Description)
 		}
-		return
+		return 0
 	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 
 	ix, ok := map[string]tlb.IndexScheme{
 		"small": tlb.IndexSmall, "large": tlb.IndexLarge, "exact": tlb.IndexExact,
 	}[*index]
 	if !ok {
-		fatal("unknown index scheme %q", *index)
+		fmt.Fprintf(stderr, "tlbsim: unknown index scheme %q\n", *index)
+		return 1
 	}
 	w := *ways
 	if w == 0 {
@@ -64,19 +89,22 @@ func main() {
 	}
 	t, err := tlb.New(tlb.Config{Entries: *entries, Ways: w, Index: ix})
 	if err != nil {
-		fatal("%v", err)
+		fmt.Fprintf(stderr, "tlbsim: %v\n", err)
+		return 1
 	}
 
 	var src trace.Reader
+	var srcName string
 	var nRefs uint64
 	switch {
 	case *traceF != "":
 		r, closer, err := trace.OpenPath(*traceF, *format)
 		if err != nil {
-			fatal("%v", err)
+			fmt.Fprintf(stderr, "tlbsim: %v\n", err)
+			return 1
 		}
 		defer closer.Close()
-		src = r
+		src, srcName = r, *traceF
 		nRefs = 1 << 22 // only used to derive a default window
 		if mr, ok := r.(*trace.MapReader); ok {
 			nRefs = mr.File().Refs()
@@ -84,7 +112,8 @@ func main() {
 	case *specF != "":
 		text, err := os.ReadFile(*specF)
 		if err != nil {
-			fatal("%v", err)
+			fmt.Fprintf(stderr, "tlbsim: %v\n", err)
+			return 1
 		}
 		nRefs = *refs
 		if nRefs == 0 {
@@ -92,20 +121,24 @@ func main() {
 		}
 		src, err = workload.Parse(*specF, nRefs, string(text))
 		if err != nil {
-			fatal("%v", err)
+			fmt.Fprintf(stderr, "tlbsim: %v\n", err)
+			return 1
 		}
+		srcName = *specF
 	case *wl != "":
 		spec, err := workload.Get(*wl)
 		if err != nil {
-			fatal("%v", err)
+			fmt.Fprintf(stderr, "tlbsim: %v\n", err)
+			return 1
 		}
 		nRefs = *refs
 		if nRefs == 0 {
 			nRefs = spec.DefaultRefs
 		}
-		src = spec.New(nRefs)
+		src, srcName = spec.New(nRefs), *wl
 	default:
-		fatal("need -workload, -spec, or -trace (try -listworkloads)")
+		fmt.Fprintln(stderr, "tlbsim: need -workload, -spec, or -trace (try -listworkloads)")
+		return 1
 	}
 
 	var pol policy.Assigner
@@ -116,53 +149,74 @@ func main() {
 			T = int(nRefs / 8)
 		}
 		cfg := policy.TwoSizeConfig{T: T, Threshold: *thresh, Demote: true, LargeShift: addr.Shift32K}
-		tp := policy.NewTwoSize(cfg)
-		pol = tp
+		pol = policy.NewTwoSize(cfg)
 		if *wss {
 			opts = append(opts, core.WithWSS())
 		}
 	} else {
 		if *wss {
-			fatal("-wss requires -two (use wsssim for single sizes)")
+			fmt.Fprintln(stderr, "tlbsim: -wss requires -two (use wsssim for single sizes)")
+			return 1
 		}
 		pol = policy.NewSingle(addr.MustPow2(addr.PageSize(*pageSize)))
 	}
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
-		fatal("%v", err)
+		fmt.Fprintf(stderr, "tlbsim: %v\n", err)
+		return 1
 	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "tlbsim: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
+
+	start := time.Now()
 	sim := core.NewSimulator(pol, []tlb.TLB{t}, opts...)
-	res, err := sim.Run(context.Background(), src)
-	if perr := stopProf(); perr != nil {
-		fatal("%v", perr)
-	}
+	res, err := sim.Run(ctx, src)
 	if err != nil {
-		fatal("%v", err)
+		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+			fmt.Fprintln(stderr, "tlbsim: interrupted")
+			return 130
+		}
+		fmt.Fprintf(stderr, "tlbsim: %v\n", err)
+		return 1
 	}
 
 	tr := res.TLBs[0]
-	fmt.Printf("policy:      %s\n", res.Policy)
-	fmt.Printf("tlb:         %s\n", tr.Name)
-	fmt.Printf("refs:        %d (instrs %d, RPI %.3f)\n", res.Refs, res.Instrs, res.RPI)
-	fmt.Printf("misses:      %d (small %d, large %d)\n",
+	fmt.Fprintf(stdout, "policy:      %s\n", res.Policy)
+	fmt.Fprintf(stdout, "tlb:         %s\n", tr.Name)
+	fmt.Fprintf(stdout, "refs:        %d (instrs %d, RPI %.3f)\n", res.Refs, res.Instrs, res.RPI)
+	fmt.Fprintf(stdout, "misses:      %d (small %d, large %d)\n",
 		tr.Stats.Misses(), tr.Stats.SmallMisses, tr.Stats.LargeMisses)
-	fmt.Printf("miss ratio:  %.6f\n", tr.MissRatio)
-	fmt.Printf("MPI:         %.6f\n", tr.MPI)
-	fmt.Printf("CPI_TLB:     %.4f  (penalty %.0f cycles)\n", tr.CPITLB, tr.MissPenalty)
-	fmt.Printf("reprobes:    %d (sequential exact-index cost model)\n", tr.Stats.Reprobes())
+	fmt.Fprintf(stdout, "miss ratio:  %.6f\n", tr.MissRatio)
+	fmt.Fprintf(stdout, "MPI:         %.6f\n", tr.MPI)
+	fmt.Fprintf(stdout, "CPI_TLB:     %.4f  (penalty %.0f cycles)\n", tr.CPITLB, tr.MissPenalty)
+	fmt.Fprintf(stdout, "reprobes:    %d (sequential exact-index cost model)\n", tr.Stats.Reprobes())
 	if res.PolicyStats != nil {
 		ps := res.PolicyStats
-		fmt.Printf("promotions:  %d (demotions %d, large chunks now %d)\n",
+		fmt.Fprintf(stdout, "promotions:  %d (demotions %d, large chunks now %d)\n",
 			ps.Promotions, ps.Demotions, ps.LargeChunks)
-		fmt.Printf("large refs:  %.1f%%\n", 100*float64(ps.LargeRefs)/float64(ps.Refs))
+		fmt.Fprintf(stdout, "large refs:  %.1f%%\n", 100*float64(ps.LargeRefs)/float64(ps.Refs))
 	}
 	if res.WSS != nil {
-		fmt.Printf("avg WSS:     %.0f bytes (%s scheme)\n", res.WSS.AvgBytes, res.WSS.Scheme)
+		fmt.Fprintf(stdout, "avg WSS:     %.0f bytes (%s scheme)\n", res.WSS.AvgBytes, res.WSS.Scheme)
 	}
-}
 
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "tlbsim: "+format+"\n", args...)
-	os.Exit(1)
+	if *statsF != "" {
+		rep := obs.New("tlbsim")
+		rep.Workloads = []string{srcName}
+		rep.WallMS = time.Since(start).Milliseconds()
+		rep.Totals = res.Counters
+		rep.Passes = []obs.Pass{{Key: fmt.Sprintf("w=%s refs=%d", srcName, res.Refs), Counters: res.Counters}}
+		if err := rep.Write(*statsF, stderr); err != nil {
+			fmt.Fprintf(stderr, "tlbsim: %v\n", err)
+			return 1
+		}
+	}
+	return 0
 }

@@ -7,19 +7,25 @@
 //	wsssim -workload li                         # 4K..64K + two-page
 //	wsssim -workload tomcatv -T 2000000 -sizes 4096,32768
 //	wsssim -trace foo.trc -format text
+//	wsssim -workload li -stats -                # JSON run report on stderr
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"twopage/internal/addr"
 	"twopage/internal/core"
 	"twopage/internal/metrics"
+	"twopage/internal/obs"
 	"twopage/internal/policy"
 	"twopage/internal/profiling"
 	"twopage/internal/trace"
@@ -28,64 +34,89 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind a single os.Exit, so the deferred
+// profile flush runs on every exit path (the old fatal() helper called
+// os.Exit directly and truncated -cpuprofile output on errors).
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("wsssim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		wl     = flag.String("workload", "", "synthetic workload name")
-		refs   = flag.Uint64("refs", 0, "trace length (0 = workload default)")
-		traceF  = flag.String("trace", "", "trace file instead of a workload")
-		format  = flag.String("format", "auto", "trace file format: auto, v2, binary, or text")
-		window  = flag.Uint64("T", 0, "working-set window in references (0 = refs/8)")
-		sizes   = flag.String("sizes", "4096,8192,16384,32768,65536", "comma-separated page sizes in bytes")
-		two     = flag.Bool("two", true, "also compute the dynamic 4KB/32KB scheme")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		wl      = fs.String("workload", "", "synthetic workload name")
+		refs    = fs.Uint64("refs", 0, "trace length (0 = workload default)")
+		traceF  = fs.String("trace", "", "trace file instead of a workload")
+		format  = fs.String("format", "auto", "trace file format: auto, v2, binary, or text")
+		window  = fs.Uint64("T", 0, "working-set window in references (0 = refs/8)")
+		sizes   = fs.String("sizes", "4096,8192,16384,32768,65536", "comma-separated page sizes in bytes")
+		two     = fs.Bool("two", true, "also compute the dynamic 4KB/32KB scheme")
+		statsF  = fs.String("stats", "", "write a JSON run report to this file (\"-\" = stderr)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	var pageSizes []addr.PageSize
 	for _, f := range strings.Split(*sizes, ",") {
 		v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
 		if err != nil || !addr.PageSize(v).Valid() {
-			fatal("bad page size %q", f)
+			fmt.Fprintf(stderr, "wsssim: bad page size %q\n", f)
+			return 1
 		}
 		pageSizes = append(pageSizes, addr.PageSize(v))
 	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 
 	// open returns a fresh reader over the configured source; the
 	// two-page scheme is a second pass, so it is called up to twice.
 	// v2 files are mmap'd once and reread via a new cursor for free.
 	var mapped *trace.File
-	open := func() trace.Reader {
+	var srcName string
+	open := func() (trace.Reader, error) {
 		switch {
 		case *traceF != "":
+			srcName = *traceF
 			if mapped != nil {
-				return mapped.Reader()
+				return mapped.Reader(), nil
 			}
 			r, closer, err := trace.OpenPath(*traceF, *format)
 			if err != nil {
-				fatal("%v", err)
+				return nil, err
 			}
 			if mr, ok := r.(*trace.MapReader); ok {
 				mapped = mr.File()
 			}
 			_ = closer // released at process exit
-			return r
+			return r, nil
 		case *wl != "":
 			spec, err := workload.Get(*wl)
 			if err != nil {
-				fatal("%v", err)
+				return nil, err
 			}
+			srcName = *wl
 			n := *refs
 			if n == 0 {
 				n = spec.DefaultRefs
 			}
-			return spec.New(n)
+			return spec.New(n), nil
 		default:
-			fatal("need -workload or -trace")
-			return nil
+			return nil, errors.New("need -workload or -trace")
 		}
 	}
 
-	first := open()
+	first, err := open()
+	if err != nil {
+		fmt.Fprintf(stderr, "wsssim: %v\n", err)
+		return 1
+	}
 	n := *refs
 	if n == 0 {
 		if *wl != "" {
@@ -107,38 +138,90 @@ func main() {
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
-		fatal("%v", err)
+		fmt.Fprintf(stderr, "wsssim: %v\n", err)
+		return 1
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
-			fatal("%v", err)
+			fmt.Fprintf(stderr, "wsssim: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
 		}
 	}()
 
-	results, err := core.MeasureStaticWSS(context.Background(), first, T, pageSizes...)
+	// Counters for the -stats report: references observed per pass via a
+	// Tee (the static pass may be shorter than requested when a trace
+	// file runs out), decode work harvested from the readers at the end.
+	var totals obs.Counters
+	var passes []obs.Pass
+	start := time.Now()
+
+	var staticRefs uint64
+	staticSrc := trace.NewTee(first, func(batch []trace.Ref) { staticRefs += uint64(len(batch)) })
+	results, err := core.MeasureStaticWSS(ctx, staticSrc, T, pageSizes...)
 	if err != nil {
-		fatal("%v", err)
+		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+			fmt.Fprintln(stderr, "wsssim: interrupted")
+			return 130
+		}
+		fmt.Fprintf(stderr, "wsssim: %v\n", err)
+		return 1
 	}
+	c := core.DecodeCounters(staticSrc)
+	c.Passes = 1
+	c.Refs = staticRefs
+	c.WSSPages = results[0].Pages
+	passes = append(passes, obs.Pass{Key: fmt.Sprintf("wss-static w=%s T=%d", srcName, T), Counters: c})
+	totals.Add(c)
+
 	base := results[0]
-	fmt.Printf("T = %d references\n", T)
-	fmt.Printf("%-10s %-12s %s\n", "scheme", "avg WSS", "normalized (vs first)")
+	fmt.Fprintf(stdout, "T = %d references\n", T)
+	fmt.Fprintf(stdout, "%-10s %-12s %s\n", "scheme", "avg WSS", "normalized (vs first)")
 	for _, r := range results {
-		fmt.Printf("%-10s %-12s %.3f\n", r.Scheme, wss.FormatBytes(r.AvgBytes),
+		fmt.Fprintf(stdout, "%-10s %-12s %.3f\n", r.Scheme, wss.FormatBytes(r.AvgBytes),
 			metrics.WSNormalized(r.AvgBytes, base.AvgBytes))
 	}
 	if *two {
-		res, stats, err := core.MeasureTwoSizeWSS(context.Background(), open(), policy.DefaultTwoSizeConfig(int(T)))
+		second, err := open()
 		if err != nil {
-			fatal("%v", err)
+			fmt.Fprintf(stderr, "wsssim: %v\n", err)
+			return 1
 		}
-		fmt.Printf("%-10s %-12s %.3f   (promotions %d, demotions %d)\n",
+		var twoRefs uint64
+		twoSrc := trace.NewTee(second, func(batch []trace.Ref) { twoRefs += uint64(len(batch)) })
+		res, stats, err := core.MeasureTwoSizeWSS(ctx, twoSrc, policy.DefaultTwoSizeConfig(int(T)))
+		if err != nil {
+			if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+				fmt.Fprintln(stderr, "wsssim: interrupted")
+				return 130
+			}
+			fmt.Fprintf(stderr, "wsssim: %v\n", err)
+			return 1
+		}
+		c := core.DecodeCounters(twoSrc)
+		c.Passes = 1
+		c.Refs = twoRefs
+		c.Promotions = stats.Promotions
+		c.Demotions = stats.Demotions
+		passes = append(passes, obs.Pass{Key: fmt.Sprintf("wss-two w=%s T=%d", srcName, T), Counters: c})
+		totals.Add(c)
+		fmt.Fprintf(stdout, "%-10s %-12s %.3f   (promotions %d, demotions %d)\n",
 			res.Scheme, wss.FormatBytes(res.AvgBytes),
 			metrics.WSNormalized(res.AvgBytes, base.AvgBytes),
 			stats.Promotions, stats.Demotions)
 	}
-}
 
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "wsssim: "+format+"\n", args...)
-	os.Exit(1)
+	if *statsF != "" {
+		rep := obs.New("wsssim")
+		rep.Workloads = []string{srcName}
+		rep.WallMS = time.Since(start).Milliseconds()
+		rep.Totals = totals
+		rep.Passes = passes
+		if err := rep.Write(*statsF, stderr); err != nil {
+			fmt.Fprintf(stderr, "wsssim: %v\n", err)
+			return 1
+		}
+	}
+	return 0
 }

@@ -1,11 +1,13 @@
 package twopage_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildCmd compiles one command into dir and returns the binary path.
@@ -98,6 +100,104 @@ func TestCommandLineTools(t *testing.T) {
 		out = runBin(t, sim, "-spec", spec, "-refs", "30000")
 		if !strings.Contains(out, "refs:        30000") {
 			t.Errorf("tlbsim -spec output:\n%s", out)
+		}
+	})
+
+	// Minimal decode of a -stats run report: just the fields these
+	// smoke tests assert on.
+	type report struct {
+		Schema string `json:"schema"`
+		Tool   string `json:"tool"`
+		Totals struct {
+			Passes uint64 `json:"passes"`
+			Refs   uint64 `json:"refs"`
+		} `json:"totals"`
+		Passes []struct {
+			Key string `json:"key"`
+		} `json:"passes"`
+	}
+	readReport := func(t *testing.T, path string) report {
+		t.Helper()
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r report
+		if err := json.Unmarshal(b, &r); err != nil {
+			t.Fatalf("%s: invalid report JSON: %v\n%s", path, err, b)
+		}
+		if r.Schema != "twopage.run-report/v1" {
+			t.Errorf("%s: schema = %q", path, r.Schema)
+		}
+		return r
+	}
+
+	t.Run("tlbsim-stats", func(t *testing.T) {
+		bin := buildCmd(t, dir, "tlbsim")
+		rep := filepath.Join(dir, "tlbsim-report.json")
+		runBin(t, bin, "-workload", "li", "-refs", "50000", "-stats", rep)
+		r := readReport(t, rep)
+		if r.Tool != "tlbsim" {
+			t.Errorf("tool = %q", r.Tool)
+		}
+		if r.Totals.Refs != 50000 {
+			t.Errorf("totals.refs = %d, want 50000", r.Totals.Refs)
+		}
+		if len(r.Passes) != 1 {
+			t.Errorf("passes = %d entries, want 1", len(r.Passes))
+		}
+	})
+
+	t.Run("wsssim-stats", func(t *testing.T) {
+		bin := buildCmd(t, dir, "wsssim")
+		rep := filepath.Join(dir, "wsssim-report.json")
+		runBin(t, bin, "-workload", "li", "-refs", "50000", "-stats", rep)
+		r := readReport(t, rep)
+		if r.Tool != "wsssim" {
+			t.Errorf("tool = %q", r.Tool)
+		}
+		// One static pass plus the two-size pass.
+		if r.Totals.Passes != 2 || len(r.Passes) != 2 {
+			t.Errorf("passes = %d (totals %d), want 2", len(r.Passes), r.Totals.Passes)
+		}
+		if r.Totals.Refs != 100000 {
+			t.Errorf("totals.refs = %d, want 100000 (two 50000-ref passes)", r.Totals.Refs)
+		}
+	})
+
+	// SIGINT must produce a one-line notice and conventional exit 130,
+	// not a raw "context canceled" error with exit 1.
+	t.Run("paper-sigint", func(t *testing.T) {
+		bin := buildCmd(t, dir, "paper")
+		cmd := exec.Command(bin, "-scale", "1", "-j", "2", "all")
+		var out strings.Builder
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Give the run time to get into the simulation loop, then
+		// interrupt it; a watchdog kill bounds a hung process.
+		time.Sleep(700 * time.Millisecond)
+		if err := cmd.Process.Signal(os.Interrupt); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			cmd.Process.Kill()
+			t.Fatal("paper did not exit within 30s of SIGINT")
+		}
+		if code := cmd.ProcessState.ExitCode(); code != 130 {
+			t.Errorf("exit after SIGINT = %d, want 130\n%s", code, out.String())
+		}
+		if !strings.Contains(out.String(), "paper: interrupted") {
+			t.Errorf("missing interrupted notice:\n%s", out.String())
+		}
+		if strings.Contains(out.String(), "context canceled") {
+			t.Errorf("raw context error leaked to user:\n%s", out.String())
 		}
 	})
 

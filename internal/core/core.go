@@ -24,6 +24,7 @@ import (
 
 	"twopage/internal/addr"
 	"twopage/internal/metrics"
+	"twopage/internal/obs"
 	"twopage/internal/policy"
 	"twopage/internal/tlb"
 	"twopage/internal/trace"
@@ -53,6 +54,11 @@ type Result struct {
 	WSS *wss.Result
 	// PolicyStats holds promotion/demotion counters for TwoSize policies.
 	PolicyStats *policy.TwoSizeStats
+
+	// Counters is the pass's run-report block (internal/obs): the TLB
+	// split, policy transitions, and any trace-decode work, assembled
+	// once after the drain loop completes.
+	Counters obs.Counters
 }
 
 // Simulator drives references through a policy and a set of TLBs.
@@ -160,7 +166,32 @@ func (s *Simulator) Run(ctx context.Context, r trace.Reader) (*Result, error) {
 		st := pol.Stats()
 		out.PolicyStats = &st
 	}
+	out.Counters = obs.Counters{Passes: 1, Refs: refs, Instrs: instrs}
+	for _, t := range s.tlbs {
+		out.Counters.Add(t.Stats().Counters())
+	}
+	if out.PolicyStats != nil {
+		out.Counters.Promotions = out.PolicyStats.Promotions
+		out.Counters.Demotions = out.PolicyStats.Demotions
+	}
+	out.Counters.Add(DecodeCounters(r))
 	return out, nil
+}
+
+// DecodeCounters harvests a reader's trace-decode counters into a
+// run-report block; readers without decode accounting (generators,
+// slice readers) contribute zero.
+func DecodeCounters(r trace.Reader) obs.Counters {
+	dc, ok := r.(trace.DecodeCounter)
+	if !ok {
+		return obs.Counters{}
+	}
+	ds := dc.DecodeStats()
+	return obs.Counters{
+		DecodedRefs:   ds.Refs,
+		DecodedBlocks: ds.Blocks,
+		DecodedBytes:  ds.Bytes,
+	}
 }
 
 // applyEvent performs the TLB maintenance a real OS would: promotion

@@ -28,6 +28,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"twopage/internal/obs"
 )
 
 // Event describes one completed unit of work, for progress reporting.
@@ -60,6 +62,7 @@ type Engine struct {
 	sem         chan struct{}
 	parallelism int
 	observer    Observer
+	collector   *obs.Collector
 
 	mu     sync.Mutex
 	passes map[string]*Future[any]
@@ -76,6 +79,24 @@ type Option func(*Engine)
 // unit. The callback runs on worker goroutines.
 func WithObserver(fn Observer) Option {
 	return func(e *Engine) { e.observer = fn }
+}
+
+// WithCollector attaches a run-report collector. Each keyed unit records
+// its counters under its memoization key when it actually executes —
+// cache hits record nothing — so the collected set is identical at any
+// parallelism level.
+func WithCollector(c *obs.Collector) Option {
+	return func(e *Engine) { e.collector = c }
+}
+
+// Record forwards one executed unit's counters to the engine's
+// collector, if any. Exposed for opaque Go tasks (which the engine
+// cannot introspect); keyed units record automatically. Safe for
+// concurrent use; a no-op without a collector.
+func (e *Engine) Record(key string, c obs.Counters) {
+	if e.collector != nil {
+		e.collector.Record(key, c)
+	}
 }
 
 // New returns an engine executing at most parallelism units at once.

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,8 @@ import (
 	"time"
 
 	"twopage/internal/addr"
+	"twopage/internal/core"
+	"twopage/internal/obs"
 	"twopage/internal/policy"
 	"twopage/internal/tlb"
 )
@@ -348,5 +351,48 @@ func TestWSSUnits(t *testing.T) {
 	}
 	if e.Stats().CacheHits != before.CacheHits+1 {
 		t.Fatal("repeated StaticWSS unit not memoized")
+	}
+}
+
+// Collector contents must not depend on the pool size: every unique
+// unit executes exactly once and records once, so two engines running
+// the same specs at different parallelism yield identical pass lists.
+func TestCollectorDeterministicAcrossParallelism(t *testing.T) {
+	specs := []PassSpec{
+		{Workload: "li", Refs: 20_000, Policy: SinglePolicy(addr.Size4K),
+			TLBs: []tlb.Config{{Entries: 16}, {Entries: 32}}},
+		{Workload: "li", Refs: 20_000, Policy: TwoSizePolicy(policy.DefaultTwoSizeConfig(2000)),
+			TLBs: []tlb.Config{{Entries: 16}}},
+		// Duplicate of the first spec: served from cache, recorded once.
+		{Workload: "li", Refs: 20_000, Policy: SinglePolicy(addr.Size4K),
+			TLBs: []tlb.Config{{Entries: 16}}},
+	}
+	run := func(parallelism int) []obs.Pass {
+		col := obs.NewCollector()
+		e := New(parallelism, WithCollector(col))
+		ctx := context.Background()
+		futs := make([]*Future[*core.Result], len(specs))
+		for i, s := range specs {
+			futs[i] = e.Pass(ctx, s)
+		}
+		for i, f := range futs {
+			if _, err := f.Wait(ctx); err != nil {
+				t.Fatalf("j=%d spec %d: %v", parallelism, i, err)
+			}
+		}
+		return col.Passes()
+	}
+	p1, p4 := run(1), run(4)
+	if len(p1) == 0 {
+		t.Fatal("collector recorded no passes")
+	}
+	if !reflect.DeepEqual(p1, p4) {
+		t.Errorf("collector contents differ across parallelism:\nj=1: %+v\nj=4: %+v", p1, p4)
+	}
+	// Counters must be populated, not just keyed.
+	for _, p := range p1 {
+		if p.Refs == 0 || p.TLBAccesses == 0 {
+			t.Errorf("pass %q has empty counters: %+v", p.Key, p.Counters)
+		}
 	}
 }

@@ -173,7 +173,13 @@ func (e *Engine) Pass(ctx context.Context, spec PassSpec) *Future[*core.Result] 
 			futs[i] = resolved[*core.Result](nil, err)
 			continue
 		}
-		futs[i] = keyed(e, ctx, key, u.run)
+		futs[i] = keyed(e, ctx, key, func(ctx context.Context) (*core.Result, error) {
+			res, err := u.run(ctx)
+			if err == nil {
+				e.Record(key, res.Counters)
+			}
+			return res, err
+		})
 	}
 	merged := newFuture[*core.Result]()
 	go func() {
@@ -206,6 +212,7 @@ func mergeParts(parts []*core.Result) *core.Result {
 		if out.PolicyStats == nil && p.PolicyStats != nil {
 			out.PolicyStats = p.PolicyStats
 		}
+		out.Counters.Add(p.Counters)
 	}
 	return out
 }
@@ -247,7 +254,17 @@ func (e *Engine) StaticWSS(ctx context.Context, u StaticWSSUnit) *Future[[]wss.R
 		for i, sh := range StaticShifts {
 			sizes[i] = addr.PageSize(1) << sh
 		}
-		return core.MeasureStaticWSS(ctx, s.New(u.Refs), u.T, sizes...)
+		r := s.New(u.Refs)
+		results, err := core.MeasureStaticWSS(ctx, r, u.T, sizes...)
+		if err != nil {
+			return nil, err
+		}
+		c := core.DecodeCounters(r)
+		c.Passes = 1
+		c.Refs = u.Refs
+		c.WSSPages = results[0].Pages // base (4KB) scheme
+		e.Record(key, c)
+		return results, nil
 	})
 }
 
@@ -278,10 +295,17 @@ func (e *Engine) TwoSizeWSS(ctx context.Context, u TwoSizeWSSUnit) *Future[TwoWS
 		if err != nil {
 			return TwoWSS{}, err
 		}
-		res, stats, err := core.MeasureTwoSizeWSS(ctx, s.New(u.Refs), u.Cfg)
+		r := s.New(u.Refs)
+		res, stats, err := core.MeasureTwoSizeWSS(ctx, r, u.Cfg)
 		if err != nil {
 			return TwoWSS{}, err
 		}
+		c := core.DecodeCounters(r)
+		c.Passes = 1
+		c.Refs = u.Refs
+		c.Promotions = stats.Promotions
+		c.Demotions = stats.Demotions
+		e.Record(key, c)
 		return TwoWSS{WSS: res, Stats: stats}, nil
 	})
 }

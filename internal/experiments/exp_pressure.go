@@ -60,6 +60,7 @@ func Pressure(ctx context.Context, o *Options) (*tableio.Table, error) {
 						if err != nil {
 							return pressureRun{}, err
 						}
+						o.Engine.Record(label, m.Counters())
 						return pressureRun{st: st, frag: m.Memory().Stats().FailedLargeFragmented}, nil
 					}))
 			}

@@ -70,7 +70,12 @@ func SharedMem(ctx context.Context, o *Options) (*tableio.Table, error) {
 					if err != nil {
 						return mmu.Stats{}, err
 					}
-					return m.Run(ctx, mp)
+					st, err := m.Run(ctx, mp)
+					if err != nil {
+						return mmu.Stats{}, err
+					}
+					o.Engine.Record(label, m.Counters())
+					return st, nil
 				}))
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"twopage/internal/engine"
+	"twopage/internal/obs"
 	"twopage/internal/tableio"
 	"twopage/internal/tlb"
 	"twopage/internal/workload"
@@ -62,6 +63,10 @@ type Options struct {
 	// Engine across experiments (as the Runner does) deduplicates
 	// passes between them.
 	Engine *engine.Engine
+	// Collector, when non-nil, receives each executed unit's run-report
+	// counters (internal/obs). Ignored when Engine is set (attach the
+	// collector to the engine instead).
+	Collector *obs.Collector
 }
 
 // Opt mutates an Options (the functional-options constructor form).
@@ -95,6 +100,10 @@ func WithProgress(fn func(engine.Event)) Opt { return func(o *Options) { o.Progr
 // win over WithParallelism/WithProgress).
 func WithEngine(e *engine.Engine) Opt { return func(o *Options) { o.Engine = e } }
 
+// WithCollector attaches a run-report collector to the private engine
+// normalize builds (a no-op when WithEngine supplies one).
+func WithCollector(c *obs.Collector) Opt { return func(o *Options) { o.Collector = c } }
+
 // NewOptions builds a normalized Options from functional options.
 func NewOptions(opts ...Opt) *Options {
 	o := &Options{}
@@ -119,6 +128,9 @@ func (o *Options) normalize() {
 		var eopts []engine.Option
 		if o.Progress != nil {
 			eopts = append(eopts, engine.WithObserver(o.Progress))
+		}
+		if o.Collector != nil {
+			eopts = append(eopts, engine.WithCollector(o.Collector))
 		}
 		o.Engine = engine.New(o.Parallelism, eopts...)
 	}

@@ -22,6 +22,7 @@ import (
 
 	"twopage/internal/addr"
 	"twopage/internal/disk"
+	"twopage/internal/obs"
 	"twopage/internal/pagetable"
 	"twopage/internal/physmem"
 	"twopage/internal/policy"
@@ -159,6 +160,26 @@ func New(cfg Config) (*MMU, error) {
 
 // Stats returns a snapshot of the counters.
 func (m *MMU) Stats() Stats { return m.stats }
+
+// Counters folds the MMU's translation-path activity, its TLB's
+// per-page-size hit/miss split, and the buddy allocator's counters into
+// one run-report block. Called once per pass, off the hot path.
+func (m *MMU) Counters() obs.Counters {
+	c := m.cfg.TLB.Stats().Counters()
+	ms := m.mem.Stats()
+	c.Passes = 1
+	c.Refs = m.stats.Accesses
+	c.Promotions = m.stats.Promotions
+	c.Demotions = m.stats.Demotions
+	c.PTWalks = m.stats.Walks
+	c.Faults = m.stats.Faults
+	c.Evictions = m.stats.Evictions
+	c.CopiedBytes = m.stats.CopiedBytes
+	c.BuddySplits = ms.Splits
+	c.BuddyCoalesces = ms.Coalesces
+	c.BuddyPeakResident = ms.PeakResident
+	return c
+}
 
 // PageTable exposes the page table for inspection.
 func (m *MMU) PageTable() *pagetable.Table { return m.pt }

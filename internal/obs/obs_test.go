@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCountersAddSumsAndMaxes(t *testing.T) {
+	a := Counters{
+		Passes: 1, Refs: 10, Instrs: 20,
+		TLBAccesses: 30, TLBHitsSmall: 12, TLBHitsLarge: 8,
+		TLBMissesSmall: 6, TLBMissesLarge: 4, TLBInvalidations: 2,
+		Promotions: 3, Demotions: 1,
+		PTWalks: 5, Faults: 7, Evictions: 9, CopiedBytes: 11,
+		BuddySplits: 13, BuddyCoalesces: 15, BuddyPeakResident: 100,
+		WSSPages: 17, DecodedRefs: 19, DecodedBlocks: 21, DecodedBytes: 23,
+	}
+	b := Counters{
+		Passes: 2, Refs: 100, Instrs: 200,
+		TLBAccesses: 300, TLBHitsSmall: 120, TLBHitsLarge: 80,
+		TLBMissesSmall: 60, TLBMissesLarge: 40, TLBInvalidations: 20,
+		Promotions: 30, Demotions: 10,
+		PTWalks: 50, Faults: 70, Evictions: 90, CopiedBytes: 110,
+		BuddySplits: 130, BuddyCoalesces: 150, BuddyPeakResident: 60,
+		WSSPages: 170, DecodedRefs: 190, DecodedBlocks: 210, DecodedBytes: 230,
+	}
+	got := a
+	got.Add(b)
+	want := Counters{
+		Passes: 3, Refs: 110, Instrs: 220,
+		TLBAccesses: 330, TLBHitsSmall: 132, TLBHitsLarge: 88,
+		TLBMissesSmall: 66, TLBMissesLarge: 44, TLBInvalidations: 22,
+		Promotions: 33, Demotions: 11,
+		PTWalks: 55, Faults: 77, Evictions: 99, CopiedBytes: 121,
+		BuddySplits: 143, BuddyCoalesces: 165,
+		// High-water mark: max(100, 60), not 160.
+		BuddyPeakResident: 100,
+		WSSPages:          187, DecodedRefs: 209, DecodedBlocks: 231, DecodedBytes: 253,
+	}
+	if got != want {
+		t.Errorf("Add merge mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Max-merge also holds in the other direction (incoming peak wins).
+	got = b
+	got.Add(a)
+	if got.BuddyPeakResident != 100 {
+		t.Errorf("BuddyPeakResident = %d, want max 100", got.BuddyPeakResident)
+	}
+}
+
+// Every Counters field must participate in Add: a field added to the
+// struct but forgotten in Add would silently drop counts. Adding a
+// block of all-ones to itself must change every field.
+func TestCountersAddCoversAllFields(t *testing.T) {
+	var ones Counters
+	v := reflect.ValueOf(&ones).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetUint(1)
+	}
+	got := ones
+	got.Add(ones)
+	gv := reflect.ValueOf(got)
+	for i := 0; i < gv.NumField(); i++ {
+		name := gv.Type().Field(i).Name
+		val := gv.Field(i).Uint()
+		if name == "BuddyPeakResident" {
+			if val != 1 { // max(1,1)
+				t.Errorf("%s = %d after max-merge, want 1", name, val)
+			}
+			continue
+		}
+		if val != 2 {
+			t.Errorf("%s = %d after Add, want 2 (field missing from Add?)", name, val)
+		}
+	}
+}
+
+func TestCountersAddDoesNotAllocate(t *testing.T) {
+	a := Counters{Refs: 1, BuddyPeakResident: 5}
+	b := Counters{Refs: 2, BuddyPeakResident: 3}
+	allocs := testing.AllocsPerRun(100, func() {
+		a.Add(b)
+	})
+	if allocs != 0 {
+		t.Errorf("Counters.Add allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestCollectorSortedPassesAndTotals(t *testing.T) {
+	c := NewCollector()
+	c.Record("zeta", Counters{Refs: 3, BuddyPeakResident: 10})
+	c.Record("alpha", Counters{Refs: 1, BuddyPeakResident: 40})
+	c.Record("mid", Counters{Refs: 2, BuddyPeakResident: 20})
+
+	passes := c.Passes()
+	gotKeys := make([]string, len(passes))
+	for i, p := range passes {
+		gotKeys[i] = p.Key
+	}
+	wantKeys := []string{"alpha", "mid", "zeta"}
+	if !reflect.DeepEqual(gotKeys, wantKeys) {
+		t.Errorf("Passes keys = %v, want sorted %v", gotKeys, wantKeys)
+	}
+
+	tot := c.Totals()
+	if tot.Refs != 6 {
+		t.Errorf("Totals.Refs = %d, want 6", tot.Refs)
+	}
+	if tot.BuddyPeakResident != 40 {
+		t.Errorf("Totals.BuddyPeakResident = %d, want max 40", tot.BuddyPeakResident)
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3", c.Len())
+	}
+}
+
+// Re-recording a key overwrites: the same key denotes the same
+// deterministic work, so a retried unit must not double-count.
+func TestCollectorRecordLastWriteWins(t *testing.T) {
+	c := NewCollector()
+	c.Record("k", Counters{Refs: 1})
+	c.Record("k", Counters{Refs: 5})
+	if got := c.Totals().Refs; got != 5 {
+		t.Errorf("Totals.Refs after re-record = %d, want 5", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len after re-record = %d, want 1", c.Len())
+	}
+}
+
+func TestReportWriteDashAndFile(t *testing.T) {
+	rep := New("testtool")
+	rep.Totals = Counters{Refs: 42}
+	rep.Passes = []Pass{{Key: "w=li", Counters: Counters{Refs: 42}}}
+
+	var dash bytes.Buffer
+	if err := rep.Write("-", &dash); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := rep.Write(path, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dash.Bytes(), fromFile) {
+		t.Errorf("dash and file encodings differ:\n%s\n---\n%s", dash.Bytes(), fromFile)
+	}
+	if !strings.HasSuffix(dash.String(), "}\n") {
+		t.Errorf("report does not end with newline: %q", dash.String())
+	}
+
+	var decoded Report
+	if err := json.Unmarshal(dash.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if decoded.Schema != Schema {
+		t.Errorf("schema = %q, want %q", decoded.Schema, Schema)
+	}
+	if decoded.Tool != "testtool" {
+		t.Errorf("tool = %q, want testtool", decoded.Tool)
+	}
+	if decoded.Totals.Refs != 42 {
+		t.Errorf("totals.refs = %d, want 42", decoded.Totals.Refs)
+	}
+	if len(decoded.Passes) != 1 || decoded.Passes[0].Key != "w=li" {
+		t.Errorf("passes round-trip mismatch: %+v", decoded.Passes)
+	}
+}
+
+func TestReportWriteBadPath(t *testing.T) {
+	rep := New("t")
+	err := rep.Write(filepath.Join(t.TempDir(), "no", "such", "dir", "r.json"), &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("Write to nonexistent directory succeeded, want error")
+	}
+}

@@ -38,6 +38,9 @@ type Stats struct {
 	// Splits and Coalesces count buddy operations.
 	Splits    uint64
 	Coalesces uint64
+	// PeakResident is the high-water mark of allocated 4KB frames over
+	// the allocator's lifetime.
+	PeakResident uint64
 }
 
 // Allocator is a binary buddy allocator over a fixed pool of 4KB
@@ -170,7 +173,15 @@ func (a *Allocator) AllocSmall() (addr.PN, error) {
 	a.allocated[head] = OrderSmall
 	a.freeCnt--
 	a.stats.SmallAllocs++
+	a.notePeak()
 	return head, nil
+}
+
+// notePeak updates the resident high-water mark after an allocation.
+func (a *Allocator) notePeak() {
+	if used := a.frames - a.freeCnt; used > a.stats.PeakResident {
+		a.stats.PeakResident = used
+	}
 }
 
 // AllocLarge allocates one aligned 32KB frame (eight contiguous 4KB
@@ -189,6 +200,7 @@ func (a *Allocator) AllocLarge() (addr.PN, error) {
 	a.allocated[head] = OrderLarge
 	a.freeCnt -= 1 << OrderLarge
 	a.stats.LargeAllocs++
+	a.notePeak()
 	return head, nil
 }
 

@@ -232,3 +232,40 @@ func TestConservationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// PeakResident tracks the high-water mark of allocated frames: it must
+// grow with allocations, survive frees, and never exceed the total.
+func TestPeakResident(t *testing.T) {
+	a := MustNew(addr.PageSize(2 * addr.ChunkSize)) // 16 frames
+	if a.Stats().PeakResident != 0 {
+		t.Fatalf("fresh allocator peak = %d, want 0", a.Stats().PeakResident)
+	}
+	s1, _ := a.AllocSmall()
+	s2, _ := a.AllocSmall()
+	if got := a.Stats().PeakResident; got != 2 {
+		t.Fatalf("peak after two small allocs = %d, want 2", got)
+	}
+	l1, err := a.AllocLarge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Stats().PeakResident; got != 10 {
+		t.Fatalf("peak after large alloc = %d, want 10", got)
+	}
+	// Freeing must not lower the high-water mark.
+	for _, f := range []addr.PN{s1, s2, l1} {
+		if err := a.Free(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Stats().PeakResident; got != 10 {
+		t.Fatalf("peak after frees = %d, want 10 (high-water mark)", got)
+	}
+	// Re-allocating below the old peak leaves it unchanged.
+	if _, err := a.AllocSmall(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Stats().PeakResident; got != 10 {
+		t.Fatalf("peak after re-alloc = %d, want 10", got)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"twopage/internal/addr"
+	"twopage/internal/obs"
 	"twopage/internal/policy"
 )
 
@@ -104,6 +105,19 @@ func (s Stats) MissRatio() float64 {
 		return 0
 	}
 	return float64(s.Misses()) / float64(s.Accesses)
+}
+
+// Counters converts the TLB statistics into the run-report counter
+// block (internal/obs). Called once per pass, off the hot path.
+func (s Stats) Counters() obs.Counters {
+	return obs.Counters{
+		TLBAccesses:      s.Accesses,
+		TLBHitsSmall:     s.SmallHits,
+		TLBHitsLarge:     s.LargeHits,
+		TLBMissesSmall:   s.SmallMisses,
+		TLBMissesLarge:   s.LargeMisses,
+		TLBInvalidations: s.Invalidations,
+	}
 }
 
 // Reprobes returns how many lookups would need a second probe under the

@@ -186,6 +186,15 @@ func (l *Limit) Read(batch []Ref) (int, error) {
 	return n, err
 }
 
+// DecodeStats forwards to the wrapped reader's counters, so decode
+// accounting survives the Limit wrapper registered workloads apply.
+func (l *Limit) DecodeStats() DecodeStats {
+	if dc, ok := l.r.(DecodeCounter); ok {
+		return dc.DecodeStats()
+	}
+	return DecodeStats{}
+}
+
 // Tee wraps r, forwarding every batch it reads to fn before returning it
 // to the caller. It lets one pass feed several consumers (e.g. a TLB
 // simulator and a working-set tracker).
@@ -204,6 +213,14 @@ func (t *Tee) Read(batch []Ref) (int, error) {
 		t.fn(batch[:n])
 	}
 	return n, err
+}
+
+// DecodeStats forwards to the wrapped reader's counters.
+func (t *Tee) DecodeStats() DecodeStats {
+	if dc, ok := t.r.(DecodeCounter); ok {
+		return dc.DecodeStats()
+	}
+	return DecodeStats{}
 }
 
 // Concat chains readers back to back.

@@ -214,8 +214,31 @@ type MapReader struct {
 	lanes   []int64 // expanded lane addresses, instr then data
 	scratch []Ref
 
+	dec DecodeStats
+
 	err error
 }
+
+// DecodeStats counts the decode-side work a reader has performed:
+// references and blocks decoded, and encoded bytes consumed (kinds,
+// instruction and data lanes). Plain uint64 counters, incremented with
+// straight arithmetic on the hot path.
+type DecodeStats struct {
+	Refs   uint64
+	Blocks uint64
+	Bytes  uint64
+}
+
+// DecodeCounter is implemented by readers that expose decode counters.
+// Wrapper readers (Limit, Tee) forward to their inner reader so callers
+// can harvest counters without unwrapping. The interface is consulted
+// once per pass, after the drain loop — never on the hot path.
+type DecodeCounter interface {
+	DecodeStats() DecodeStats
+}
+
+// DecodeStats returns the cumulative decode counters for this cursor.
+func (r *MapReader) DecodeStats() DecodeStats { return r.dec }
 
 // expandLane expands one lane's groups into dst and returns how many
 // addresses it produced. a is the lane's seed address. The hot varint
@@ -452,6 +475,9 @@ func (r *MapReader) Read(batch []Ref) (int, error) {
 					r.err = err
 					return n, err
 				}
+				r.dec.Refs += uint64(b.nRefs)
+				r.dec.Blocks++
+				r.dec.Bytes += uint64(b.dataEnd - b.kindsOff)
 				n += b.nRefs
 				r.n, r.consumed = b.nRefs, b.nRefs
 				continue
@@ -463,6 +489,9 @@ func (r *MapReader) Read(batch []Ref) (int, error) {
 				r.err = err
 				return n, err
 			}
+			r.dec.Refs += uint64(b.nRefs)
+			r.dec.Blocks++
+			r.dec.Bytes += uint64(b.dataEnd - b.kindsOff)
 			r.buf = r.scratch[:b.nRefs]
 			r.n, r.consumed = b.nRefs, 0
 		}

@@ -37,6 +37,10 @@ import (
 type Result struct {
 	Scheme   string  // e.g. "4KB", "32KB", "4KB/32KB"
 	AvgBytes float64 // s(T, ps) in bytes
+	// Pages counts the distinct pages the scheme touched over the whole
+	// stream. Static schemes fill it; the dynamic two-size scheme leaves
+	// it zero because page identities change under promotion/demotion.
+	Pages uint64
 }
 
 // Normalized returns r.AvgBytes / base.AvgBytes, the paper's
@@ -127,7 +131,11 @@ func (s *Static) Finish() []Result {
 		if s.steps > 0 {
 			avg = float64(acc) * float64(size) / float64(s.steps)
 		}
-		out[i] = Result{Scheme: addr.PageSize(size).String(), AvgBytes: avg}
+		out[i] = Result{
+			Scheme:   addr.PageSize(size).String(),
+			AvgBytes: avg,
+			Pages:    uint64(len(s.last[i])),
+		}
 	}
 	return out
 }
