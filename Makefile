@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK = honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK = golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: all build test verify lint paperlint lint-extra bench bench-trace bench-report golden golden-update paper
+.PHONY: all build test verify lint paperlint lint-extra bench bench-trace bench-kernels bench-report golden golden-update paper
 
 all: build
 
@@ -60,6 +60,13 @@ bench:
 # decode throughput over the real workload generators.
 bench-trace:
 	$(GO) test -run TestTraceBenchReport -tracebench -count 1 .
+
+# bench-kernels regenerates BENCH_kernels.json: the converted hot-state
+# kernels (internal/htab and the arena page table) against their
+# pre-conversion Go-map baselines (internal/kernelref), plus the
+# end-to-end experiment-suite wall time at a fixed scale.
+bench-kernels:
+	$(GO) test -run TestKernelBenchReport -kernelbench -count 1 .
 
 # bench-report regenerates BENCH_run.json: the full experiment suite's
 # run report (internal/obs schema) at a reduced scale. The counter

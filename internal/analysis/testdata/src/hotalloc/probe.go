@@ -1,0 +1,93 @@
+package hotalloc
+
+// htab-style open-addressing kernel idioms: a map-free linear-probe
+// loop over flat slot slices and dense arena indexing are exactly what
+// the hot paths converted to, and the analyzer must stay quiet on them
+// while still flagging growth or boxing smuggled into the probe loop.
+
+type probeSlot struct {
+	key uint64
+	val uint64
+}
+
+type probeTable struct {
+	slots []probeSlot
+	mask  uint64
+	n     int
+}
+
+type arenaEntry struct {
+	valid bool
+	data  [8]uint64
+}
+
+//paperlint:hot
+func (t *probeTable) get(k uint64) (uint64, bool) {
+	i := (k * 0x9E3779B97F4A7C15) & t.mask
+	for {
+		s := t.slots[i]
+		if s.key == k {
+			return s.val, true
+		}
+		if s.key == 0 {
+			return 0, false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+//paperlint:hot
+func (t *probeTable) putPreSized(k, v uint64) {
+	i := (k * 0x9E3779B97F4A7C15) & t.mask
+	for {
+		s := &t.slots[i]
+		if s.key == k || s.key == 0 {
+			s.key = k
+			s.val = v
+			t.n++
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Arena indexing through a flat index table: lookups resolve to value
+// slots in a dense slice, never through per-entry pointers. No
+// allocation constructs — no diagnostics.
+//
+//paperlint:hot
+func arenaLookup(t *probeTable, arena []arenaEntry, k uint64) *arenaEntry {
+	i, ok := t.get(k)
+	if !ok {
+		return nil
+	}
+	e := &arena[i]
+	if !e.valid {
+		return nil
+	}
+	return e
+}
+
+// Growing inside the probe loop is the regression the analyzer must
+// keep catching: the whole point of the kernel is that growth happens
+// at construction, not per reference.
+//
+//paperlint:hot
+func probeGrowBad(t *probeTable, k, v uint64) {
+	if t.n*4 >= len(t.slots)*3 {
+		t.slots = append(t.slots, probeSlot{})     // want `append may grow`
+		grown := make([]probeSlot, 2*len(t.slots)) // want `make allocates`
+		copy(grown, t.slots)
+		t.slots = grown
+	}
+	t.putPreSized(k, v)
+}
+
+// Boxing a slot into an interface for diagnostics belongs off the hot
+// path.
+//
+//paperlint:hot
+func probeBoxBad(t *probeTable, k uint64) any {
+	v, _ := t.get(k)
+	return any(v) // want `conversion to interface type any allocates`
+}

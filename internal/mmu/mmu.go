@@ -22,6 +22,7 @@ import (
 
 	"twopage/internal/addr"
 	"twopage/internal/disk"
+	"twopage/internal/htab"
 	"twopage/internal/obs"
 	"twopage/internal/pagetable"
 	"twopage/internal/physmem"
@@ -128,6 +129,21 @@ type resident struct {
 	valid bool
 }
 
+// pageKey packs a policy.Page into one uint64 so the resident index
+// can be a flat uint64 table instead of a map keyed by the two-field
+// struct (whose runtime hashing dominates the touch-per-access path).
+// Shift is at most 24 (policy validates LargeShift ≤ 24), so six low
+// bits hold it and the page number keeps 58 bits — more than any
+// virtual address the simulators generate.
+func pageKey(p policy.Page) uint64 {
+	return uint64(p.Number)<<6 | uint64(p.Shift)&63
+}
+
+// unpackKey inverts pageKey (tests and diagnostics).
+func unpackKey(k uint64) policy.Page {
+	return policy.Page{Number: addr.PN(k >> 6), Shift: uint(k & 63)}
+}
+
 // MMU is a two-page-size memory-management unit with demand paging.
 type MMU struct {
 	cfg   Config
@@ -137,7 +153,7 @@ type MMU struct {
 
 	clock     []resident
 	hand      int
-	where     map[policy.Page]int
+	where     *htab.U64 // pageKey -> clock index
 	tombstone int
 }
 
@@ -154,7 +170,7 @@ func New(cfg Config) (*MMU, error) {
 		cfg:   cfg,
 		pt:    pagetable.New(),
 		mem:   mem,
-		where: make(map[policy.Page]int),
+		where: htab.NewU64(1 << 8),
 	}, nil
 }
 
@@ -188,7 +204,7 @@ func (m *MMU) PageTable() *pagetable.Table { return m.pt }
 func (m *MMU) Memory() *physmem.Allocator { return m.mem }
 
 // Resident returns the number of resident pages (of either size).
-func (m *MMU) Resident() int { return len(m.where) }
+func (m *MMU) Resident() int { return m.where.Len() }
 
 // Access translates one reference, performing any policy transition,
 // miss handling, demand paging and replacement it implies. It returns
@@ -251,32 +267,35 @@ func (m *MMU) Run(ctx context.Context, r trace.Reader) (Stats, error) {
 	}
 }
 
-// touch sets the clock reference bit.
+// touch sets the clock reference bit. It runs on every TLB hit and
+// walk hit — the MMU's own per-reference hot path.
+//
+//paperlint:hot
 func (m *MMU) touch(p policy.Page) {
-	if i, ok := m.where[p]; ok {
+	if i, ok := m.where.Get(pageKey(p)); ok {
 		m.clock[i].ref = true
 	}
 }
 
 // insert records a resident page in the clock.
 func (m *MMU) insert(p policy.Page, frame addr.PN) {
-	if _, ok := m.where[p]; ok {
+	if _, ok := m.where.Get(pageKey(p)); ok {
 		return
 	}
 	m.clock = append(m.clock, resident{page: p, frame: frame, ref: true, valid: true})
-	m.where[p] = len(m.clock) - 1
+	m.where.Put(pageKey(p), uint64(len(m.clock)-1))
 	m.maybeCompact()
 }
 
 // remove drops a resident page from the clock (tombstoned).
 func (m *MMU) remove(p policy.Page) (addr.PN, bool) {
-	i, ok := m.where[p]
+	i, ok := m.where.Get(pageKey(p))
 	if !ok {
 		return 0, false
 	}
 	frame := m.clock[i].frame
 	m.clock[i].valid = false
-	delete(m.where, p)
+	m.where.Delete(pageKey(p))
 	m.tombstone++
 	return frame, true
 }
@@ -294,7 +313,7 @@ func (m *MMU) maybeCompact() {
 	m.clock = out
 	m.tombstone = 0
 	for i := range m.clock {
-		m.where[m.clock[i].page] = i
+		m.where.Put(pageKey(m.clock[i].page), uint64(i))
 	}
 	if m.hand >= len(m.clock) {
 		m.hand = 0
@@ -304,7 +323,7 @@ func (m *MMU) maybeCompact() {
 // evictOne runs the clock until it reclaims one page, returning false
 // if nothing is resident.
 func (m *MMU) evictOne() bool {
-	if len(m.where) == 0 {
+	if m.where.Len() == 0 {
 		return false
 	}
 	for spins := 0; spins < 2*len(m.clock)+2; spins++ {
@@ -453,7 +472,7 @@ func (m *MMU) promote(c addr.PN) {
 // pages (the contents already exist; only frames and mappings move).
 func (m *MMU) demote(c addr.PN) {
 	large := policy.Page{Number: c, Shift: addr.ChunkShift}
-	if _, ok := m.where[large]; !ok {
+	if _, ok := m.where.Get(pageKey(large)); !ok {
 		return // not resident; nothing to split
 	}
 	var frames [addr.BlocksPerChunk]addr.PN

@@ -193,14 +193,7 @@ func TestLargePagesUnderPressure(t *testing.T) {
 		t.Fatal("li's working set exceeds 128KB; evictions expected")
 	}
 	free := m.Memory().FreeFrames()
-	var residentFrames uint64
-	for p := range m.where {
-		if uint(p.Shift) >= addr.ChunkShift {
-			residentFrames += addr.BlocksPerChunk
-		} else {
-			residentFrames++
-		}
-	}
+	residentFrames := residentFrames(m)
 	if free+residentFrames != m.Memory().TotalFrames() {
 		t.Fatalf("frame conservation violated: free %d + resident %d != %d",
 			free, residentFrames, m.Memory().TotalFrames())
@@ -343,13 +336,13 @@ func TestDemoteNonResident(t *testing.T) {
 
 func residentFrames(m *MMU) uint64 {
 	var n uint64
-	for p := range m.where {
-		if uint(p.Shift) >= addr.ChunkShift {
+	m.where.Iter(func(k, _ uint64) {
+		if p := unpackKey(k); uint(p.Shift) >= addr.ChunkShift {
 			n += addr.BlocksPerChunk
 		} else {
 			n++
 		}
-	}
+	})
 	return n
 }
 

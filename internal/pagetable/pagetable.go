@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"twopage/internal/addr"
+	"twopage/internal/htab"
 )
 
 // Cycle cost model for software miss handling, loosely itemized from
@@ -65,10 +66,15 @@ type Walk struct {
 	Large  bool    // resolved to a large mapping
 }
 
+// chunkEntry is one mapped chunk, held by value in the Table's dense
+// arena: either one large PTE or an inline block table of eight small
+// PTEs. Keeping the block array inline (rather than behind a pointer)
+// removes the per-chunk heap allocation and the GC write barrier the
+// old map-of-pointers layout paid on every chunk creation.
 type chunkEntry struct {
 	large    bool
 	largePTE PTE
-	blocks   *[addr.BlocksPerChunk]PTE
+	blocks   [addr.BlocksPerChunk]PTE
 }
 
 // Stats counts page-table activity.
@@ -80,25 +86,66 @@ type Stats struct {
 	CopiedBytes uint64 // bytes copied by promotions/demotions
 }
 
-// Table is a two-page-size page table.
+// Table is a two-page-size page table. Mapped chunks live by value in
+// a dense arena indexed through a flat hash table (chunk number →
+// arena slot); unmapped slots go on a free list and are reused, so a
+// long churn of map/unmap traffic allocates nothing in steady state.
 type Table struct {
-	chunks map[addr.PN]*chunkEntry
-	stats  Stats
+	idx   *htab.U64    // chunk number -> arena index
+	arena []chunkEntry // dense chunk storage
+	free  []uint32     // recycled arena indices
+	stats Stats
 }
 
 // New returns an empty table.
 func New() *Table {
-	return &Table{chunks: make(map[addr.PN]*chunkEntry)}
+	return &Table{idx: htab.NewU64(1 << 8)}
+}
+
+// entry returns the arena slot for chunk c, or nil if unmapped.
+//
+//paperlint:hot
+func (t *Table) entry(c addr.PN) *chunkEntry {
+	i, ok := t.idx.Get(uint64(c))
+	if !ok {
+		return nil
+	}
+	return &t.arena[i]
+}
+
+// alloc binds a fresh (or recycled) arena slot to chunk c and returns
+// it zeroed. The caller must know c is unmapped.
+func (t *Table) alloc(c addr.PN) *chunkEntry {
+	var i uint32
+	if n := len(t.free); n > 0 {
+		i = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.arena[i] = chunkEntry{}
+	} else {
+		i = uint32(len(t.arena))
+		t.arena = append(t.arena, chunkEntry{})
+	}
+	t.idx.Put(uint64(c), uint64(i))
+	return &t.arena[i]
+}
+
+// release unbinds chunk c and recycles its arena slot.
+func (t *Table) release(c addr.PN) {
+	i, ok := t.idx.Get(uint64(c))
+	if !ok {
+		return
+	}
+	t.idx.Delete(uint64(c))
+	t.free = append(t.free, uint32(i))
 }
 
 // MapSmall installs a 4KB mapping for block b. It fails if the chunk is
 // currently mapped as a large page (the OS must demote first).
 func (t *Table) MapSmall(b addr.PN, frame addr.PN) error {
 	c := addr.ChunkOfBlock(b)
-	ce := t.chunks[c]
+	ce := t.entry(c)
 	if ce == nil {
-		ce = &chunkEntry{blocks: new([addr.BlocksPerChunk]PTE)}
-		t.chunks[c] = ce
+		ce = t.alloc(c)
 	}
 	if ce.large {
 		return fmt.Errorf("pagetable: chunk %#x is mapped large", uint64(c))
@@ -111,7 +158,7 @@ func (t *Table) MapSmall(b addr.PN, frame addr.PN) error {
 // fails if any small mapping exists (use Promote) or the chunk is
 // already large.
 func (t *Table) MapLarge(c addr.PN, frame addr.PN) error {
-	ce := t.chunks[c]
+	ce := t.entry(c)
 	if ce != nil {
 		if ce.large {
 			return fmt.Errorf("pagetable: chunk %#x already mapped large", uint64(c))
@@ -121,8 +168,10 @@ func (t *Table) MapLarge(c addr.PN, frame addr.PN) error {
 				return fmt.Errorf("pagetable: chunk %#x has small mappings; promote instead", uint64(c))
 			}
 		}
+	} else {
+		ce = t.alloc(c)
 	}
-	t.chunks[c] = &chunkEntry{large: true, largePTE: PTE{Frame: frame, Valid: true, Large: true}}
+	*ce = chunkEntry{large: true, largePTE: PTE{Frame: frame, Valid: true, Large: true}}
 	return nil
 }
 
@@ -130,12 +179,12 @@ func (t *Table) MapLarge(c addr.PN, frame addr.PN) error {
 // page). It reports whether anything was unmapped.
 func (t *Table) Unmap(va addr.VA) bool {
 	c := addr.Chunk(va)
-	ce := t.chunks[c]
+	ce := t.entry(c)
 	if ce == nil {
 		return false
 	}
 	if ce.large {
-		delete(t.chunks, c)
+		t.release(c)
 		return true
 	}
 	i := addr.BlockInChunk(va)
@@ -148,16 +197,20 @@ func (t *Table) Unmap(va addr.VA) bool {
 			return true
 		}
 	}
-	delete(t.chunks, c)
+	t.release(c)
 	return true
 }
 
 // Lookup walks the table for va as a two-size-aware miss handler would,
-// charging the full handler cost model.
+// charging the full handler cost model. It runs on every simulated TLB
+// miss, so it is annotated hot: one flat-table probe plus an arena
+// index, no allocation.
+//
+//paperlint:hot
 func (t *Table) Lookup(va addr.VA) (PTE, Walk) {
 	t.stats.Lookups++
 	w := Walk{Cycles: TrapCycles + SizeProbeCycles + InsertCycles}
-	ce := t.chunks[addr.Chunk(va)]
+	ce := t.entry(addr.Chunk(va))
 	w.Levels = 1
 	w.Cycles += LoadCycles
 	if ce == nil {
@@ -185,7 +238,7 @@ func (t *Table) Lookup(va addr.VA) (PTE, Walk) {
 // the eight blocks were resident (and therefore copied to the new large
 // frame). It fails if the chunk has no small mappings.
 func (t *Table) Promote(c addr.PN, newFrame addr.PN) (freed []addr.PN, copied int, err error) {
-	ce := t.chunks[c]
+	ce := t.entry(c)
 	if ce == nil || ce.large {
 		return nil, 0, fmt.Errorf("pagetable: chunk %#x has no small mappings to promote", uint64(c))
 	}
@@ -198,7 +251,7 @@ func (t *Table) Promote(c addr.PN, newFrame addr.PN) (freed []addr.PN, copied in
 	if copied == 0 {
 		return nil, 0, fmt.Errorf("pagetable: chunk %#x is empty", uint64(c))
 	}
-	t.chunks[c] = &chunkEntry{large: true, largePTE: PTE{Frame: newFrame, Valid: true, Large: true}}
+	*ce = chunkEntry{large: true, largePTE: PTE{Frame: newFrame, Valid: true, Large: true}}
 	t.stats.Promotions++
 	t.stats.CopiedBytes += uint64(copied) * addr.BlockSize
 	return freed, copied, nil
@@ -208,16 +261,15 @@ func (t *Table) Promote(c addr.PN, newFrame addr.PN) (freed []addr.PN, copied in
 // given frames (all eight blocks become resident). It returns the freed
 // large frame.
 func (t *Table) Demote(c addr.PN, frames [addr.BlocksPerChunk]addr.PN) (addr.PN, error) {
-	ce := t.chunks[c]
+	ce := t.entry(c)
 	if ce == nil || !ce.large {
 		return 0, fmt.Errorf("pagetable: chunk %#x is not mapped large", uint64(c))
 	}
 	old := ce.largePTE.Frame
-	blocks := new([addr.BlocksPerChunk]PTE)
+	*ce = chunkEntry{}
 	for i, f := range frames {
-		blocks[i] = PTE{Frame: f, Valid: true}
+		ce.blocks[i] = PTE{Frame: f, Valid: true}
 	}
-	t.chunks[c] = &chunkEntry{blocks: blocks}
 	t.stats.Demotions++
 	t.stats.CopiedBytes += addr.ChunkSize
 	return old, nil
@@ -227,4 +279,4 @@ func (t *Table) Demote(c addr.PN, frames [addr.BlocksPerChunk]addr.PN) (addr.PN,
 func (t *Table) Stats() Stats { return t.stats }
 
 // MappedChunks returns how many chunks have any mapping.
-func (t *Table) MappedChunks() int { return len(t.chunks) }
+func (t *Table) MappedChunks() int { return t.idx.Len() }

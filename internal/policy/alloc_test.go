@@ -1,0 +1,64 @@
+package policy
+
+import (
+	"testing"
+
+	"twopage/internal/addr"
+)
+
+// policyStream is a deterministic mix of hot-loop and excursion
+// references that triggers promotions and demotions.
+func policyStream(n int) []addr.VA {
+	out := make([]addr.VA, n)
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if i%11 == 0 {
+			out[i] = addr.VA(x % (1 << 24))
+			continue
+		}
+		out[i] = addr.VA(x % (1 << 18))
+	}
+	return out
+}
+
+// TestAssignAllocs pins the dynamic policy's per-reference path —
+// window step, chunk-activity probe, large-set update — at zero
+// steady-state allocations.
+func TestAssignAllocs(t *testing.T) {
+	p := NewTwoSize(DefaultTwoSizeConfig(1 << 12))
+	stream := policyStream(1 << 15)
+	for _, va := range stream {
+		p.Assign(va)
+	}
+	if s := p.Stats(); s.Promotions == 0 {
+		t.Fatal("warmup produced no promotions; stream too cold to be a meaningful pin")
+	}
+	i := 0
+	avg := testing.AllocsPerRun(5000, func() {
+		p.Assign(stream[i&(1<<15-1)])
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("TwoSize.Assign allocates %.2f times per call, want 0", avg)
+	}
+}
+
+// TestCumulativeAssignAllocs pins the windowless policy's path too.
+func TestCumulativeAssignAllocs(t *testing.T) {
+	p := NewCumulative(CumulativeConfig{Threshold: 4})
+	stream := policyStream(1 << 15)
+	for _, va := range stream {
+		p.Assign(va)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(5000, func() {
+		p.Assign(stream[i&(1<<15-1)])
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("Cumulative.Assign allocates %.2f times per call, want 0", avg)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"twopage/internal/addr"
+	"twopage/internal/htab"
 )
 
 // This file implements the alternative page-size assignment policies the
@@ -107,8 +108,8 @@ type CumulativeConfig struct {
 // drifts toward the 32KB single-size cost.
 type Cumulative struct {
 	threshold int
-	touched   map[addr.PN]uint8 // chunk -> bitmap of blocks ever touched
-	large     map[addr.PN]bool
+	touched   *htab.U64 // chunk -> bitmap of blocks ever touched
+	large     *htab.Set
 	stats     TwoSizeStats
 }
 
@@ -120,32 +121,37 @@ func NewCumulative(cfg CumulativeConfig) *Cumulative {
 	}
 	return &Cumulative{
 		threshold: cfg.Threshold,
-		touched:   make(map[addr.PN]uint8),
-		large:     make(map[addr.PN]bool),
+		touched:   htab.NewU64(1 << 8),
+		large:     htab.NewSet(1 << 8),
 	}
 }
 
-// Assign implements Assigner.
+// Assign implements Assigner. Per-reference hot path.
+//
+//paperlint:hot
 func (p *Cumulative) Assign(va addr.VA) Result {
 	p.stats.Refs++
 	c := addr.Chunk(va)
 	var res Result
-	if !p.large[c] {
-		bits := p.touched[c] | 1<<addr.BlockInChunk(va)
-		p.touched[c] = bits
+	isLarge := p.large.Has(uint64(c))
+	if !isLarge {
+		prev, _ := p.touched.Get(uint64(c))
+		bits := prev | 1<<addr.BlockInChunk(va)
+		p.touched.Put(uint64(c), bits)
 		n := 0
 		for b := bits; b != 0; b &= b - 1 {
 			n++
 		}
 		if n >= p.threshold {
-			p.large[c] = true
-			delete(p.touched, c)
+			p.large.Add(uint64(c))
+			isLarge = true
+			p.touched.Delete(uint64(c))
 			p.stats.Promotions++
 			res.Event = EventPromote
 			res.Chunk = c
 		}
 	}
-	if p.large[c] {
+	if isLarge {
 		p.stats.LargeRefs++
 		res.Page = Page{Number: c, Shift: addr.ChunkShift}
 		return res
@@ -161,12 +167,12 @@ func (p *Cumulative) Name() string { return "4KB/32KB cumulative" }
 // Stats returns policy counters.
 func (p *Cumulative) Stats() TwoSizeStats {
 	s := p.stats
-	s.LargeChunks = len(p.large)
+	s.LargeChunks = p.large.Len()
 	return s
 }
 
 // IsLarge reports whether chunk c has been promoted.
-func (p *Cumulative) IsLarge(c addr.PN) bool { return p.large[c] }
+func (p *Cumulative) IsLarge(c addr.PN) bool { return p.large.Has(uint64(c)) }
 
 // Compile-time interface checks.
 var (

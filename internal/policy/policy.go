@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"twopage/internal/addr"
+	"twopage/internal/htab"
 	"twopage/internal/window"
 )
 
@@ -162,7 +163,7 @@ type TwoSizeStats struct {
 type TwoSize struct {
 	cfg   TwoSizeConfig
 	win   *window.Tracker
-	large map[addr.PN]bool
+	large *htab.Set // chunks currently mapped as one large page
 	stats TwoSizeStats
 }
 
@@ -186,7 +187,7 @@ func NewTwoSize(cfg TwoSizeConfig) *TwoSize {
 	return &TwoSize{
 		cfg:   cfg,
 		win:   window.NewWithChunkShift(cfg.T, cfg.LargeShift),
-		large: make(map[addr.PN]bool),
+		large: htab.NewSet(1 << 8),
 	}
 }
 
@@ -202,33 +203,36 @@ func (p *TwoSize) Config() TwoSizeConfig { return p.cfg }
 // Stats returns a snapshot of policy counters.
 func (p *TwoSize) Stats() TwoSizeStats {
 	s := p.stats
-	s.LargeChunks = len(p.large)
+	s.LargeChunks = p.large.Len()
 	return s
 }
 
 // IsLarge reports whether chunk c is currently mapped as a large page.
-func (p *TwoSize) IsLarge(c addr.PN) bool { return p.large[c] }
+func (p *TwoSize) IsLarge(c addr.PN) bool { return p.large.Has(uint64(c)) }
 
 // Assign implements Assigner: it records the reference in the window,
 // applies the promotion/demotion rule to the referenced chunk, and
 // returns the page the reference falls on under the resulting mapping.
+// Per-reference hot path: one window step plus flat-table probes.
+//
+//paperlint:hot
 func (p *TwoSize) Assign(va addr.VA) Result {
 	p.stats.Refs++
 	p.win.StepVA(va)
 	c := addr.Page(va, p.cfg.LargeShift)
 	active := p.win.ChunkActive(c)
-	isLarge := p.large[c]
+	isLarge := p.large.Has(uint64(c))
 	var res Result
 	switch {
 	case !isLarge && active >= p.cfg.Threshold &&
 		(p.cfg.DenyPromotion == nil || !p.cfg.DenyPromotion(c)):
-		p.large[c] = true
+		p.large.Add(uint64(c))
 		isLarge = true
 		p.stats.Promotions++
 		res.Event = EventPromote
 		res.Chunk = c
 	case isLarge && p.cfg.Demote && active < p.cfg.Threshold:
-		delete(p.large, c)
+		p.large.Remove(uint64(c))
 		isLarge = false
 		p.stats.Demotions++
 		res.Event = EventDemote

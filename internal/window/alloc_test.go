@@ -1,0 +1,52 @@
+package window
+
+import (
+	"testing"
+
+	"twopage/internal/addr"
+	"twopage/internal/kernelref"
+)
+
+// TestStepAllocs pins the sliding-window update at zero steady-state
+// allocations: after the counter tables have grown to the stream's
+// footprint, every Step — including expiry traffic with its
+// backward-shift deletes — must be pure table updates.
+func TestStepAllocs(t *testing.T) {
+	w := New(1 << 12)
+	stream := kernelref.BlockStream(1 << 15)
+	for _, b := range stream {
+		w.Step(b)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(5000, func() {
+		w.Step(stream[i&(1<<15-1)])
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("Tracker.Step allocates %.2f times per call, want 0", avg)
+	}
+}
+
+// The hooks run inside Step; closures there must not re-introduce
+// allocation either.
+func TestStepAllocsWithHooks(t *testing.T) {
+	w := New(1 << 12)
+	enters, leaves := 0, 0
+	w.OnBlockEnter = func(addr.PN) { enters++ }
+	w.OnBlockLeave = func(addr.PN) { leaves++ }
+	stream := kernelref.BlockStream(1 << 15)
+	for _, b := range stream {
+		w.Step(b)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(5000, func() {
+		w.Step(stream[i&(1<<15-1)])
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("Tracker.Step with hooks allocates %.2f times per call, want 0", avg)
+	}
+	if enters == 0 || leaves == 0 {
+		t.Fatalf("hooks did not run (enters %d, leaves %d)", enters, leaves)
+	}
+}

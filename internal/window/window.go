@@ -22,9 +22,9 @@ package window
 
 import (
 	"fmt"
-	"sort"
 
 	"twopage/internal/addr"
+	"twopage/internal/htab"
 )
 
 // Tracker tracks which 4KB blocks were referenced in the last T
@@ -37,8 +37,8 @@ type Tracker struct {
 	filled     bool
 	steps      uint64
 
-	refCnt      map[addr.PN]int32
-	chunkActive map[addr.PN]int16
+	refCnt      *htab.Counter // block -> references of it inside the window
+	chunkActive *htab.Counter // chunk -> active blocks in it
 	active      int
 
 	// OnBlockEnter, if non-nil, is called when a block becomes active
@@ -70,8 +70,8 @@ func NewWithChunkShift(T int, chunkShift uint) *Tracker {
 		t:           T,
 		chunkShift:  chunkShift,
 		ring:        make([]addr.PN, T),
-		refCnt:      make(map[addr.PN]int32),
-		chunkActive: make(map[addr.PN]int16),
+		refCnt:      htab.NewCounter(1 << 10),
+		chunkActive: htab.NewCounter(1 << 8),
 	}
 }
 
@@ -96,28 +96,25 @@ func (w *Tracker) Steps() uint64 { return w.steps }
 func (w *Tracker) ActiveBlocks() int { return w.active }
 
 // BlockActive reports whether block b was referenced in the window.
-func (w *Tracker) BlockActive(b addr.PN) bool { return w.refCnt[b] > 0 }
+func (w *Tracker) BlockActive(b addr.PN) bool { return w.refCnt.Get(uint64(b)) > 0 }
 
 // ChunkActive returns how many of chunk c's blocks are active.
-func (w *Tracker) ChunkActive(c addr.PN) int { return int(w.chunkActive[c]) }
+func (w *Tracker) ChunkActive(c addr.PN) int { return int(w.chunkActive.Get(uint64(c))) }
 
 // Step observes one reference to 4KB block b, expiring the reference
-// that falls out of the window (if the window is full).
+// that falls out of the window (if the window is full). This is the
+// per-reference hot path shared by the policy and the two-size
+// working-set calculator; the Counter tables keep it allocation-free
+// in steady state.
+//
+//paperlint:hot
 func (w *Tracker) Step(b addr.PN) {
 	w.steps++
 	if w.filled {
 		old := w.ring[w.pos]
-		if c := w.refCnt[old] - 1; c > 0 {
-			w.refCnt[old] = c
-		} else {
-			delete(w.refCnt, old)
+		if w.refCnt.Add(uint64(old), -1) == 0 {
 			w.active--
-			ch := w.ChunkOf(old)
-			if n := w.chunkActive[ch] - 1; n > 0 {
-				w.chunkActive[ch] = n
-			} else {
-				delete(w.chunkActive, ch)
-			}
+			w.chunkActive.Add(uint64(w.ChunkOf(old)), -1)
 			if w.OnBlockLeave != nil {
 				w.OnBlockLeave(old)
 			}
@@ -129,15 +126,12 @@ func (w *Tracker) Step(b addr.PN) {
 		w.pos = 0
 		w.filled = true
 	}
-	if c := w.refCnt[b]; c > 0 {
-		w.refCnt[b] = c + 1
-		return
-	}
-	w.refCnt[b] = 1
-	w.active++
-	w.chunkActive[w.ChunkOf(b)]++
-	if w.OnBlockEnter != nil {
-		w.OnBlockEnter(b)
+	if w.refCnt.Add(uint64(b), 1) == 1 {
+		w.active++
+		w.chunkActive.Add(uint64(w.ChunkOf(b)), 1)
+		if w.OnBlockEnter != nil {
+			w.OnBlockEnter(b)
+		}
 	}
 }
 
@@ -164,12 +158,7 @@ func (w *Tracker) ActiveBlocksOf(c addr.PN) []uint {
 // chunks log active chunks); intended for periodic sampling, not the
 // per-reference path.
 func (w *Tracker) ActiveChunks(fn func(c addr.PN, blocks int)) {
-	chunks := make([]addr.PN, 0, len(w.chunkActive))
-	for c := range w.chunkActive {
-		chunks = append(chunks, c)
-	}
-	sort.Slice(chunks, func(i, j int) bool { return chunks[i] < chunks[j] })
-	for _, c := range chunks {
-		fn(c, int(w.chunkActive[c]))
-	}
+	w.chunkActive.IterSorted(func(c uint64, n int64) {
+		fn(addr.PN(c), int(n))
+	})
 }

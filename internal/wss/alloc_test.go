@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"twopage/internal/addr"
+	"twopage/internal/kernelref"
+	"twopage/internal/policy"
 )
 
 // TestStepAllocs pins the working-set window update at zero
@@ -23,5 +25,26 @@ func TestStepAllocs(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Errorf("Static.Step allocates %.2f times per call, want 0", avg)
+	}
+}
+
+// TestObserveAllocs pins the two-size working-set observer — policy
+// assign, window hooks, incremental size accumulation — at zero
+// steady-state allocations per reference.
+func TestObserveAllocs(t *testing.T) {
+	pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(1 << 12))
+	ts := NewTwoSize(pol)
+	stream := kernelref.VAStream(1 << 15)
+	for _, va := range stream {
+		ts.Observe(pol.Assign(va))
+	}
+	i := 0
+	avg := testing.AllocsPerRun(5000, func() {
+		va := stream[i&(1<<15-1)]
+		ts.Observe(pol.Assign(va))
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("Assign+Observe allocates %.2f times per reference, want 0", avg)
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"twopage/internal/addr"
+	"twopage/internal/htab"
 	"twopage/internal/policy"
 )
 
@@ -57,8 +58,8 @@ func (r Result) Normalized(base Result) float64 {
 type Static struct {
 	t      uint64
 	shifts []uint
-	last   []map[addr.PN]uint64 // per shift: page -> last access time
-	acc    []uint64             // per shift: accumulated residency steps
+	last   []*htab.U64 // per shift: page -> last access time
+	acc    []uint64    // per shift: accumulated residency steps
 	steps  uint64
 	done   bool
 }
@@ -75,18 +76,18 @@ func NewStatic(T uint64, shifts ...uint) *Static {
 	s := &Static{
 		t:      T,
 		shifts: append([]uint(nil), shifts...),
-		last:   make([]map[addr.PN]uint64, len(shifts)),
+		last:   make([]*htab.U64, len(shifts)),
 		acc:    make([]uint64, len(shifts)),
 	}
 	for i := range s.last {
-		s.last[i] = make(map[addr.PN]uint64)
+		s.last[i] = htab.NewU64(1 << 10)
 	}
 	return s
 }
 
 // Step observes one reference. Time advances by one per call. This is
 // the per-reference hot path: the AllocsPerRun test pins it to zero
-// steady-state allocations (map growth aside, which amortizes out).
+// steady-state allocations (table growth aside, which amortizes out).
 //
 //paperlint:hot
 func (s *Static) Step(va addr.VA) {
@@ -96,15 +97,15 @@ func (s *Static) Step(va addr.VA) {
 	t := s.steps
 	s.steps++
 	for i, shift := range s.shifts {
-		pn := addr.Page(va, shift)
-		if lastT, ok := s.last[i][pn]; ok {
+		pn := uint64(addr.Page(va, shift))
+		if lastT, ok := s.last[i].Get(pn); ok {
 			gap := t - lastT
 			if gap > s.t {
 				gap = s.t
 			}
 			s.acc[i] += gap
 		}
-		s.last[i][pn] = t
+		s.last[i].Put(pn, t)
 	}
 }
 
@@ -118,14 +119,16 @@ func (s *Static) Finish() []Result {
 	out := make([]Result, len(s.shifts))
 	for i, shift := range s.shifts {
 		acc := s.acc[i]
-		//paperlint:ignore determinism uint64 accumulation is order-independent
-		for _, lastT := range s.last[i] {
+		// Probe-order iteration is fine here: the uint64 accumulation
+		// is order-independent, and htab layout is deterministic for a
+		// fixed reference stream anyway.
+		s.last[i].Iter(func(_, lastT uint64) {
 			gap := s.steps - lastT
 			if gap > s.t {
 				gap = s.t
 			}
 			acc += gap
-		}
+		})
 		size := uint64(1) << shift
 		var avg float64
 		if s.steps > 0 {
@@ -134,7 +137,7 @@ func (s *Static) Finish() []Result {
 		out[i] = Result{
 			Scheme:   addr.PageSize(size).String(),
 			AvgBytes: avg,
-			Pages:    uint64(len(s.last[i])),
+			Pages:    uint64(s.last[i].Len()),
 		}
 	}
 	return out
@@ -242,8 +245,17 @@ func FormatBytes(b float64) string {
 	}
 }
 
-// SortResults orders results by ascending average size, for stable report
-// output when schemes are collected from maps.
+// SortResults orders results by ascending average size, for stable
+// report output when schemes are collected from unordered sources.
+// Equal averages are real (two schemes can tie exactly on a small
+// trace), so the sort is stable with the scheme name as tie-break —
+// otherwise the report row order would be nondeterministic precisely
+// when it matters for diffing.
 func SortResults(rs []Result) {
-	sort.Slice(rs, func(i, j int) bool { return rs[i].AvgBytes < rs[j].AvgBytes })
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].AvgBytes != rs[j].AvgBytes {
+			return rs[i].AvgBytes < rs[j].AvgBytes
+		}
+		return rs[i].Scheme < rs[j].Scheme
+	})
 }

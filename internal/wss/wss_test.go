@@ -272,6 +272,29 @@ func TestSortResults(t *testing.T) {
 	}
 }
 
+// Regression: sort.Slice is unstable, so results tying on AvgBytes used
+// to land in nondeterministic order. The sort must break ties by Scheme
+// and produce the same permutation from any input order.
+func TestSortResultsEqualAverages(t *testing.T) {
+	base := []Result{
+		{Scheme: "4KB/32KB", AvgBytes: 2, Pages: 1},
+		{Scheme: "4KB", AvgBytes: 2, Pages: 2},
+		{Scheme: "32KB", AvgBytes: 2, Pages: 3},
+		{Scheme: "8KB", AvgBytes: 1, Pages: 4},
+	}
+	want := []string{"8KB", "32KB", "4KB", "4KB/32KB"}
+	// Every rotation of the input must sort to the identical order.
+	for rot := 0; rot < len(base); rot++ {
+		rs := append(append([]Result(nil), base[rot:]...), base[:rot]...)
+		SortResults(rs)
+		for i, w := range want {
+			if rs[i].Scheme != w {
+				t.Fatalf("rotation %d: order %v, want %v", rot, rs, want)
+			}
+		}
+	}
+}
+
 // Property: for any stream, larger page sizes never shrink the average
 // working-set size in bytes (each small page is contained in a large
 // one), and WSS is bounded above by footprint x size ratio.
