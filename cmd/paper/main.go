@@ -13,6 +13,12 @@
 // order. Scale 1.0 (default) runs the full-length traces; smaller scales
 // shrink traces and windows proportionally for quick looks.
 //
+// Beyond the paper's own two-size tables, the ladder3 and nindex
+// experiments extend the evaluation to deeper page-size hierarchies
+// (4KB/32KB/256KB): the Section 3.4 policy generalized to an N-level
+// promotion ladder, and Section 2.2's indexing dilemma with three
+// coexisting sizes.
+//
 // Experiments execute concurrently over one shared engine: -j bounds
 // the simulation worker pool, identical passes are simulated once, and
 // tables are printed in request order — stdout is byte-identical for

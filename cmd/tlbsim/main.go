@@ -6,6 +6,8 @@
 //	tlbsim -workload matrix300 -entries 16                 # fully associative
 //	tlbsim -workload tomcatv -entries 32 -ways 2 -index large
 //	tlbsim -workload li -two -T 500000 -entries 16 -ways 2 -index exact
+//	tlbsim -workload li -sizes 4096,32768,262144 -ladder   # three-size ladder
+//	tlbsim -workload li -sizes 4096,32768,262144 -ladder -index class1
 //	tlbsim -trace foo.trc -pagesize 8192        # format sniffed (v2/binary/text)
 //	tlbsim -workload li -stats -                # JSON run report on stderr
 package main
@@ -18,6 +20,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"twopage/internal/addr"
@@ -51,9 +55,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		statsF   = fs.String("stats", "", "write a JSON run report to this file (\"-\" = stderr)")
 		entries  = fs.Int("entries", 16, "TLB entries")
 		ways     = fs.Int("ways", 0, "associativity (0 = fully associative)")
-		index    = fs.String("index", "exact", "set index scheme: small, large, exact")
+		index    = fs.String("index", "exact", "set index scheme: small, large, exact, or classK (K = size class)")
 		pageSize = fs.Uint64("pagesize", 4096, "single page size in bytes")
 		two      = fs.Bool("two", false, "use the dynamic 4KB/32KB policy instead of a single size")
+		sizes    = fs.String("sizes", "", "comma-separated page-size hierarchy in bytes, e.g. 4096,32768,262144")
+		ladder   = fs.Bool("ladder", false, "use the N-level promotion ladder over the -sizes hierarchy")
 		window   = fs.Int("T", 0, "two-page policy window in refs (0 = refs/8)")
 		thresh   = fs.Int("threshold", 4, "two-page promotion threshold (blocks of 8)")
 		wss      = fs.Bool("wss", false, "also report the two-page working-set size")
@@ -76,18 +82,45 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stopSignals()
 
+	var classes addr.SizeClasses
+	if *sizes != "" {
+		var ps []addr.PageSize
+		for _, part := range strings.Split(*sizes, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				fmt.Fprintf(stderr, "tlbsim: bad -sizes entry %q: %v\n", part, err)
+				return 1
+			}
+			ps = append(ps, addr.PageSize(v))
+		}
+		var err error
+		if classes, err = addr.NewSizeClasses(ps...); err != nil {
+			fmt.Fprintf(stderr, "tlbsim: %v\n", err)
+			return 1
+		}
+	}
+
 	ix, ok := map[string]tlb.IndexScheme{
 		"small": tlb.IndexSmall, "large": tlb.IndexLarge, "exact": tlb.IndexExact,
 	}[*index]
 	if !ok {
-		fmt.Fprintf(stderr, "tlbsim: unknown index scheme %q\n", *index)
-		return 1
+		k, err := strconv.Atoi(strings.TrimPrefix(*index, "class"))
+		if !strings.HasPrefix(*index, "class") || err != nil ||
+			k < 0 || k >= addr.MaxSizeClasses {
+			fmt.Fprintf(stderr, "tlbsim: unknown index scheme %q\n", *index)
+			return 1
+		}
+		ix = tlb.IndexByClass(k)
 	}
 	w := *ways
 	if w == 0 {
 		w = *entries
 	}
-	t, err := tlb.New(tlb.Config{Entries: *entries, Ways: w, Index: ix})
+	tlbCfg := tlb.Config{Entries: *entries, Ways: w, Index: ix}
+	if classes.N() > 0 {
+		tlbCfg.Shifts = classes.Shifts()
+	}
+	t, err := tlb.New(tlbCfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "tlbsim: %v\n", err)
 		return 1
@@ -143,7 +176,26 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 
 	var pol policy.Assigner
 	var opts []core.Option
-	if *two {
+	switch {
+	case *ladder:
+		if classes.N() < 2 {
+			fmt.Fprintln(stderr, "tlbsim: -ladder needs -sizes with at least two page sizes")
+			return 1
+		}
+		if classes.Shift(0) != addr.BlockShift || classes.TopShift() > 24 {
+			fmt.Fprintf(stderr, "tlbsim: -ladder needs a 4096-byte base class and a top size of at most %d bytes\n", 1<<24)
+			return 1
+		}
+		if *wss {
+			fmt.Fprintln(stderr, "tlbsim: -wss supports only the two-size policy")
+			return 1
+		}
+		T := *window
+		if T == 0 {
+			T = int(nRefs / 8)
+		}
+		pol = policy.NewLadder(policy.DefaultLadderConfig(T, classes))
+	case *two:
 		T := *window
 		if T == 0 {
 			T = int(nRefs / 8)
@@ -153,7 +205,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		if *wss {
 			opts = append(opts, core.WithWSS())
 		}
-	} else {
+	default:
 		if *wss {
 			fmt.Fprintln(stderr, "tlbsim: -wss requires -two (use wsssim for single sizes)")
 			return 1
@@ -192,7 +244,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fmt.Fprintf(stdout, "tlb:         %s\n", tr.Name)
 	fmt.Fprintf(stdout, "refs:        %d (instrs %d, RPI %.3f)\n", res.Refs, res.Instrs, res.RPI)
 	fmt.Fprintf(stdout, "misses:      %d (small %d, large %d)\n",
-		tr.Stats.Misses(), tr.Stats.SmallMisses, tr.Stats.LargeMisses)
+		tr.Stats.Misses(), tr.Stats.SmallMisses(), tr.Stats.LargeMisses())
+	if tr.Stats.Classes > 2 {
+		for k := 0; k < tr.Stats.Classes; k++ {
+			fmt.Fprintf(stdout, "  class %d (%s): hits %d, misses %d\n",
+				k, classes.Size(k), tr.Stats.HitsByClass[k], tr.Stats.MissesByClass[k])
+		}
+	}
 	fmt.Fprintf(stdout, "miss ratio:  %.6f\n", tr.MissRatio)
 	fmt.Fprintf(stdout, "MPI:         %.6f\n", tr.MPI)
 	fmt.Fprintf(stdout, "CPI_TLB:     %.4f  (penalty %.0f cycles)\n", tr.CPITLB, tr.MissPenalty)
@@ -202,6 +260,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintf(stdout, "promotions:  %d (demotions %d, large chunks now %d)\n",
 			ps.Promotions, ps.Demotions, ps.LargeChunks)
 		fmt.Fprintf(stdout, "large refs:  %.1f%%\n", 100*float64(ps.LargeRefs)/float64(ps.Refs))
+	}
+	if ls := res.LadderStats; ls != nil {
+		for k := 1; k < classes.N(); k++ {
+			fmt.Fprintf(stdout, "class %d (%s): refs %.1f%%, promotions %d, demotions %d, mapped now %d\n",
+				k, classes.Size(k),
+				100*float64(ls.RefsByClass[k])/float64(ls.Refs),
+				ls.Promotions[k], ls.Demotions[k], ls.Mapped[k])
+		}
 	}
 	if res.WSS != nil {
 		fmt.Fprintf(stdout, "avg WSS:     %.0f bytes (%s scheme)\n", res.WSS.AvgBytes, res.WSS.Scheme)

@@ -109,7 +109,7 @@ func main() {
 	fmt.Printf("TLB:          %d hits, %d misses (%.4f%% miss)\n",
 		st.TLBHits, st.TLBMisses, 100*float64(st.TLBMisses)/float64(st.Accesses))
 	fmt.Printf("walks:        %d (%d refills, %d faults)\n", st.Walks, st.WalkHits, st.Faults)
-	fmt.Printf("replacement:  %d evictions (%d large)\n", st.Evictions, st.LargeEvictions)
+	fmt.Printf("replacement:  %d evictions (%d large)\n", st.Evictions, st.EvictionsByClass[1])
 	fmt.Printf("promotion:    %d promotions, %d demotions, %.1f KB copied\n",
 		st.Promotions, st.Demotions, float64(st.CopiedBytes)/1024)
 	ms := m.Memory().Stats()

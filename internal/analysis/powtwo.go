@@ -35,11 +35,25 @@ type PowTwoGeometry struct {
 	TotalField, WaysField string
 }
 
+// PowTwoAscending names a constructor taking a variadic page-size
+// hierarchy that must be strictly ascending powers of two — the
+// addr.SizeClasses invariant, caught at the call site instead of as a
+// runtime constructor error.
+type PowTwoAscending struct {
+	// Func is the qualified name, package path dot function name, e.g.
+	// "twopage/internal/addr.NewSizeClasses".
+	Func string
+	// From is the zero-based index of the first hierarchy argument;
+	// every argument from it on is part of the size-class list.
+	From int
+}
+
 // PowTwoConfig parameterizes the powtwo analyzer so tests can point it
 // at testdata-local packages.
 type PowTwoConfig struct {
 	Targets    []PowTwoTarget
 	Geometries []PowTwoGeometry
+	Ascending  []PowTwoAscending
 	// Validators are function names whose call result is trusted to be
 	// a power of two (runtime-validated helpers like addr.MustPow2).
 	// Non-constant expressions at checked positions must pass through
@@ -59,6 +73,10 @@ func DefaultPowTwoConfig() PowTwoConfig {
 		Geometries: []PowTwoGeometry{
 			{Type: "twopage/internal/tlb.Config", TotalField: "Entries", WaysField: "Ways"},
 			{Type: "twopage/internal/cache.Config", PowFields: []string{"Block"}},
+		},
+		Ascending: []PowTwoAscending{
+			{Func: "twopage/internal/addr.NewSizeClasses"},
+			{Func: "twopage/internal/addr.MustSizeClasses"},
 		},
 		Validators: []string{"MustPow2"},
 	}
@@ -80,6 +98,10 @@ func PowTwo(cfg PowTwoConfig) *Analyzer {
 	for _, g := range cfg.Geometries {
 		geoms[g.Type] = g
 	}
+	ascending := map[string]PowTwoAscending{}
+	for _, a := range cfg.Ascending {
+		ascending[a.Func] = a
+	}
 	validators := map[string]bool{}
 	for _, v := range cfg.Validators {
 		validators[v] = true
@@ -95,6 +117,7 @@ func PowTwo(cfg PowTwoConfig) *Analyzer {
 				switch n := n.(type) {
 				case *ast.CallExpr:
 					checkPowTwoCall(pass, n, targets, validators)
+					checkAscendingCall(pass, n, ascending)
 				case *ast.CompositeLit:
 					if t := info.TypeOf(n); t != nil {
 						if g, ok := geoms[qualifiedTypeName(t)]; ok {
@@ -145,6 +168,44 @@ func checkPowTwoCall(pass *Pass, call *ast.CallExpr, targets map[string]PowTwoTa
 		for i := t.Rest; i < len(call.Args); i++ {
 			check(i)
 		}
+	}
+}
+
+// checkAscendingCall enforces the size-class-hierarchy invariant on a
+// constructor call: every constant argument of the list must be a
+// positive power of two, and consecutive constant arguments must be
+// strictly ascending. A non-constant argument is left to the
+// constructor's runtime validation and breaks the ascent chain (the
+// analyzer cannot compare across it).
+func checkAscendingCall(pass *Pass, call *ast.CallExpr, ascending map[string]PowTwoAscending) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	a, ok := ascending[fn.Pkg().Path()+"."+fn.Name()]
+	if !ok {
+		return
+	}
+	prev := int64(-1)
+	for i := a.From; i < len(call.Args); i++ {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			return // spread slice: contents are not statically visible
+		}
+		arg := call.Args[i]
+		v, isConst := constIntValue(pass.TypesInfo, arg)
+		if !isConst {
+			prev = -1
+			continue
+		}
+		if v <= 0 || v&(v-1) != 0 {
+			pass.Reportf(arg.Pos(), "size class %d of %s is %d, not a positive power of two", i-a.From, fn.Name(), v)
+			prev = -1
+			continue
+		}
+		if prev >= 0 && v <= prev {
+			pass.Reportf(arg.Pos(), "size classes of %s are not strictly ascending: %d after %d", fn.Name(), v, prev)
+		}
+		prev = v
 	}
 }
 

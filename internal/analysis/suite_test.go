@@ -29,6 +29,9 @@ func TestPowTwo(t *testing.T) {
 				WaysField:  "Ways",
 			},
 		},
+		Ascending: []analysis.PowTwoAscending{
+			{Func: "powtwo/fake.NewSizeClasses"},
+		},
 		Validators: []string{"MustPow2"},
 	}
 	analysistest.Run(t, "testdata", "powtwo", analysis.PowTwo(cfg))

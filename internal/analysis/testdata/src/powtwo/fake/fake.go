@@ -16,3 +16,5 @@ type Config struct {
 }
 
 func MustPow2(v int) int { return v }
+
+func NewSizeClasses(sizes ...int) int { return len(sizes) }

@@ -22,3 +22,14 @@ func geometry() {
 	_ = fake.Config{Entries: 64}                     // fully associative: one set
 	_ = fake.Config{Entries: 96, Ways: 4}            //paperlint:ignore powtwo deliberately odd stress geometry
 }
+
+func hierarchy(n int) {
+	fake.NewSizeClasses(4096, 32768, 262144)
+	fake.NewSizeClasses(4096, 12345)        // want `not a positive power of two`
+	fake.NewSizeClasses(32768, 4096)        // want `not strictly ascending: 4096 after 32768`
+	fake.NewSizeClasses(4096, 4096)         // want `not strictly ascending`
+	fake.NewSizeClasses(4096, n, 262144)    // runtime size breaks the chain: constructor validates
+	fake.NewSizeClasses(4096, 3000, 262144) // want `size class 1 of NewSizeClasses is 3000`
+	sizes := []int{32768, 4096}
+	fake.NewSizeClasses(sizes...) // spread slice: contents not statically visible
+}

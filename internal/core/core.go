@@ -54,6 +54,9 @@ type Result struct {
 	WSS *wss.Result
 	// PolicyStats holds promotion/demotion counters for TwoSize policies.
 	PolicyStats *policy.TwoSizeStats
+	// LadderStats holds per-class counters for N-level ladder and NAPOT
+	// policies (nil for two-size and single-size runs).
+	LadderStats *policy.LadderStats
 
 	// Counters is the pass's run-report block (internal/obs): the TLB
 	// split, policy transitions, and any trace-decode work, assembled
@@ -67,15 +70,16 @@ type Simulator struct {
 	tlbs        []tlb.TLB
 	missPenalty float64
 	wssCalc     *wss.TwoSize
-	largeShift  uint // large-page shift of a TwoSize policy
+	classes     addr.SizeClasses // hierarchy of a MultiSize policy (zero for single-size)
 }
 
 // Option configures a Simulator.
 type Option func(*Simulator)
 
 // WithMissPenalty overrides the miss penalty (cycles). By default a
-// TwoSize policy uses metrics.MissPenaltyTwo and everything else
-// metrics.MissPenaltySingle, per Sections 2.3/3.2.
+// multi-size policy with n classes uses metrics.MissPenaltyN(n) — 25
+// cycles for two sizes — and everything else metrics.MissPenaltySingle,
+// per Sections 2.3/3.2.
 func WithMissPenalty(cycles float64) Option {
 	return func(s *Simulator) { s.missPenalty = cycles }
 }
@@ -97,9 +101,9 @@ func WithWSS() Option {
 // all driven by the same policy decisions in a single pass.
 func NewSimulator(pol policy.Assigner, tlbs []tlb.TLB, opts ...Option) *Simulator {
 	s := &Simulator{pol: pol, tlbs: tlbs}
-	if ts, ok := pol.(*policy.TwoSize); ok {
-		s.missPenalty = metrics.MissPenaltyTwo
-		s.largeShift = ts.Config().LargeShift
+	if mp, ok := pol.(policy.MultiSize); ok {
+		s.classes = mp.SizeClasses()
+		s.missPenalty = metrics.MissPenaltyN(s.classes.N())
 	} else {
 		s.missPenalty = metrics.MissPenaltySingle
 	}
@@ -162,9 +166,16 @@ func (s *Simulator) Run(ctx context.Context, r trace.Reader) (*Result, error) {
 		res := s.wssCalc.Result()
 		out.WSS = &res
 	}
-	if pol, ok := s.pol.(*policy.TwoSize); ok {
+	switch pol := s.pol.(type) {
+	case *policy.TwoSize:
 		st := pol.Stats()
 		out.PolicyStats = &st
+	case *policy.Ladder:
+		st := pol.Stats()
+		out.LadderStats = &st
+	case *policy.Napot:
+		st := pol.Stats()
+		out.LadderStats = &st
 	}
 	out.Counters = obs.Counters{Passes: 1, Refs: refs, Instrs: instrs}
 	for _, t := range s.tlbs {
@@ -173,6 +184,14 @@ func (s *Simulator) Run(ctx context.Context, r trace.Reader) (*Result, error) {
 	if out.PolicyStats != nil {
 		out.Counters.Promotions = out.PolicyStats.Promotions
 		out.Counters.Demotions = out.PolicyStats.Demotions
+	}
+	if ls := out.LadderStats; ls != nil {
+		out.Counters.Promotions = ls.Promotions[1]
+		out.Counters.Demotions = ls.Demotions[1]
+		out.Counters.PromotionsSize2 = ls.Promotions[2]
+		out.Counters.PromotionsSize3 = ls.Promotions[3]
+		out.Counters.DemotionsSize2 = ls.Demotions[2]
+		out.Counters.DemotionsSize3 = ls.Demotions[3]
 	}
 	out.Counters.Add(DecodeCounters(r))
 	return out, nil
@@ -195,22 +214,30 @@ func DecodeCounters(r trace.Reader) obs.Counters {
 }
 
 // applyEvent performs the TLB maintenance a real OS would: promotion
-// invalidates the chunk's eight small-page entries, demotion the large
-// page entry. The cycle cost of this is folded into the two-page miss
-// penalty, as in the paper (Section 3.4).
+// into class L invalidates every smaller-class entry under the region
+// (the eight small pages of a chunk, in the two-size case), demotion
+// the class-L entry itself. The cycle cost of this is folded into the
+// multi-size miss penalty, as in the paper (Section 3.4).
 func (s *Simulator) applyEvent(res policy.Result) {
-	per := addr.PN(1) << (s.largeShift - addr.BlockShift)
+	level := res.Level
+	if level <= 0 {
+		level = 1
+	}
 	switch res.Event {
 	case policy.EventPromote:
-		first := res.Chunk * per
-		for i := addr.PN(0); i < per; i++ {
-			p := policy.Page{Number: first + i, Shift: addr.BlockShift}
-			for _, t := range s.tlbs {
-				t.Invalidate(p)
+		for j := 0; j < level; j++ {
+			shift := s.classes.Shift(j)
+			per := addr.PN(1) << (s.classes.Shift(level) - shift)
+			first := res.Chunk * per
+			for i := addr.PN(0); i < per; i++ {
+				p := policy.Page{Number: first + i, Shift: shift}
+				for _, t := range s.tlbs {
+					t.Invalidate(p)
+				}
 			}
 		}
 	case policy.EventDemote:
-		p := policy.Page{Number: res.Chunk, Shift: s.largeShift}
+		p := policy.Page{Number: res.Chunk, Shift: s.classes.Shift(level)}
 		for _, t := range s.tlbs {
 			t.Invalidate(p)
 		}

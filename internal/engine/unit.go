@@ -15,16 +15,21 @@ import (
 
 // PolicySpec declaratively describes a page-size assignment policy, so
 // that a simulation pass can be keyed and memoized. Exactly one of the
-// two forms is used: Single (nonzero) selects the fixed-size baseline,
-// otherwise Two selects the paper's dynamic policy.
+// three forms is used: Single (nonzero) selects the fixed-size
+// baseline, a Ladder with at least two size classes selects the N-level
+// promotion ladder, otherwise Two selects the paper's dynamic policy.
 type PolicySpec struct {
 	// Single, when nonzero, is the fixed page size.
 	Single addr.PageSize
 	// Two is the dynamic two-size configuration used when Single is
-	// zero. Its DenyPromotion hook must be nil: a function cannot be
-	// part of a memoization key (use an opaque Go task for veto
-	// policies).
+	// zero and Ladder is unset. Its DenyPromotion hook must be nil: a
+	// function cannot be part of a memoization key (use an opaque Go
+	// task for veto policies).
 	Two policy.TwoSizeConfig
+	// Ladder, when its Classes field names at least two sizes, is the
+	// N-level promotion-ladder configuration. Its Deny hook must be nil
+	// for the same reason as Two.DenyPromotion.
+	Ladder policy.LadderConfig
 }
 
 // SinglePolicy returns the spec for the fixed-size policy.
@@ -33,6 +38,9 @@ func SinglePolicy(size addr.PageSize) PolicySpec { return PolicySpec{Single: siz
 // TwoSizePolicy returns the spec for the dynamic two-size policy.
 func TwoSizePolicy(cfg policy.TwoSizeConfig) PolicySpec { return PolicySpec{Two: cfg} }
 
+// LadderPolicy returns the spec for the N-level promotion ladder.
+func LadderPolicy(cfg policy.LadderConfig) PolicySpec { return PolicySpec{Ladder: cfg} }
+
 // New instantiates the policy.
 func (p PolicySpec) New() (policy.Assigner, error) {
 	if p.Single != 0 {
@@ -40,6 +48,15 @@ func (p PolicySpec) New() (policy.Assigner, error) {
 			return nil, fmt.Errorf("engine: invalid page size %d", p.Single)
 		}
 		return policy.NewSingle(addr.MustPow2(p.Single)), nil
+	}
+	if p.Ladder.Classes.N() >= 2 {
+		if p.Ladder.Deny != nil {
+			return nil, fmt.Errorf("engine: Deny hooks cannot be memoized; use an opaque task")
+		}
+		if p.Ladder.T <= 0 {
+			return nil, fmt.Errorf("engine: ladder policy needs T > 0")
+		}
+		return policy.NewLadder(p.Ladder), nil
 	}
 	if p.Two.DenyPromotion != nil {
 		return nil, fmt.Errorf("engine: DenyPromotion hooks cannot be memoized; use an opaque task")
@@ -53,6 +70,25 @@ func (p PolicySpec) New() (policy.Assigner, error) {
 func (p PolicySpec) key() string {
 	if p.Single != 0 {
 		return fmt.Sprintf("single:%d", p.Single)
+	}
+	if p.Ladder.Classes.N() >= 2 {
+		var b strings.Builder
+		fmt.Fprintf(&b, "ladder:T=%d,sc=", p.Ladder.T)
+		for i, s := range p.Ladder.Classes.Shifts() {
+			if i > 0 {
+				b.WriteByte('-')
+			}
+			fmt.Fprintf(&b, "%d", s)
+		}
+		b.WriteString(",thr=")
+		for i, t := range p.Ladder.Thresholds {
+			if i > 0 {
+				b.WriteByte('-')
+			}
+			fmt.Fprintf(&b, "%d", t)
+		}
+		fmt.Fprintf(&b, ",dem=%t", p.Ladder.Demote)
+		return b.String()
 	}
 	return fmt.Sprintf("two:T=%d,thr=%d,dem=%t,ls=%d",
 		p.Two.T, p.Two.Threshold, p.Two.Demote, p.Two.LargeShift)
@@ -86,12 +122,11 @@ func (u Unit) Key() (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "w=%s refs=%d pol=%s wss=%t", u.Workload, u.Refs, u.Policy.key(), u.WSS)
 	if u.TLB != nil {
-		cfg, err := u.TLB.Normalized()
+		frag, err := u.TLB.Key()
 		if err != nil {
 			return "", err
 		}
-		fmt.Fprintf(&b, " tlb=e%d.w%d.ix%d.r%d.s%d.l%d.seed%d",
-			cfg.Entries, cfg.Ways, cfg.Index, cfg.Repl, cfg.SmallShift, cfg.LargeShift, cfg.Seed)
+		fmt.Fprintf(&b, " tlb=%s", frag)
 	}
 	return b.String(), nil
 }
@@ -211,6 +246,9 @@ func mergeParts(parts []*core.Result) *core.Result {
 		}
 		if out.PolicyStats == nil && p.PolicyStats != nil {
 			out.PolicyStats = p.PolicyStats
+		}
+		if out.LadderStats == nil && p.LadderStats != nil {
+			out.LadderStats = p.LadderStats
 		}
 		out.Counters.Add(p.Counters)
 	}

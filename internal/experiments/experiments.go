@@ -375,6 +375,18 @@ var registry = []Experiment{
 		About: "all-associativity pass quantifying why the paper capped its TLBs below 64 entries",
 		Run:   TLBSweep,
 	},
+	{
+		ID:    "ladder3",
+		Title: "Extension: three-size promotion ladder",
+		About: "the Section 3.4 policy generalized to 4KB/32KB/256KB: threshold sweep per level against a NAPOT-contiguity alternative",
+		Run:   Ladder3,
+	},
+	{
+		ID:    "nindex",
+		Title: "Extension: TLB indexing with three page sizes",
+		About: "Section 2.2's indexing dilemma with N sizes: per-class index bits vs exact reprobe vs per-class split TLBs",
+		Run:   NIndex,
+	},
 }
 
 // All returns the experiments in presentation order.

@@ -17,7 +17,23 @@ const (
 	// TwoSizePenaltyFactor is the assumed relative increase:
 	// MissPenaltyTwo = TwoSizePenaltyFactor × MissPenaltySingle.
 	TwoSizePenaltyFactor = 1.25
+	// HandlerLevelCycles is the marginal handler cost of one more page
+	// size beyond two: an extra PTE load (4 cycles, the pagetable
+	// model's per-level charge) as the handler probes one more level of
+	// the size hierarchy. It extends the paper's 20→25 step to N sizes.
+	HandlerLevelCycles = 4.0
 )
+
+// MissPenaltyN returns the software miss-handler penalty for a TLB
+// serving n page sizes: the paper's 20 cycles for one size, 25 for two,
+// and one extra level charge per size beyond that. MissPenaltyN(2) is
+// exactly MissPenaltyTwo, so two-size results are untouched.
+func MissPenaltyN(n int) float64 {
+	if n <= 1 {
+		return MissPenaltySingle
+	}
+	return MissPenaltyTwo + float64(n-2)*HandlerLevelCycles
+}
 
 // MPI returns TLB misses per instruction.
 func MPI(misses, instructions uint64) float64 {

@@ -69,6 +69,15 @@ func (c *Config) normalize() error {
 			return fmt.Errorf("mmu: only 32KB large pages are supported, policy uses %d-bit shift",
 				ts.Config().LargeShift)
 		}
+	} else if mp, ok := c.Policy.(policy.MultiSize); ok {
+		// The frame allocator and replacement clock understand exactly the
+		// paper's two sizes; a deeper hierarchy would emit pages the buddy
+		// allocator cannot back.
+		want := addr.MustShiftClasses(addr.BlockShift, addr.ChunkShift)
+		if mp.SizeClasses() != want {
+			return fmt.Errorf("mmu: only the %s hierarchy is supported, policy uses %s",
+				want, mp.SizeClasses())
+		}
 	}
 	if c.TLBHitCycles == 0 {
 		c.TLBHitCycles = 1
@@ -98,9 +107,16 @@ type Stats struct {
 	WalkHits uint64
 	// Faults counts demand-paging events (mapping created).
 	Faults uint64
-	// Evictions counts replaced pages (by page, not frame); large pages
-	// count once in Evictions and once in LargeEvictions.
-	Evictions      uint64
+	// Evictions counts replaced pages (by page, not frame); each page
+	// also counts once in EvictionsByClass at its size class.
+	Evictions uint64
+	// EvictionsByClass splits Evictions by size class (0 = 4KB blocks,
+	// 1 = 32KB chunks; higher classes stay zero while the MMU supports
+	// only the paper's two sizes).
+	EvictionsByClass [addr.MaxSizeClasses]uint64
+	// LargeEvictions mirrors EvictionsByClass[1].
+	//
+	// Deprecated: read EvictionsByClass[1] instead.
 	LargeEvictions uint64
 	// Promotions/Demotions mirror the policy's transitions that the MMU
 	// carried out against the page table.
@@ -190,6 +206,8 @@ func (m *MMU) Counters() obs.Counters {
 	c.PTWalks = m.stats.Walks
 	c.Faults = m.stats.Faults
 	c.Evictions = m.stats.Evictions
+	c.EvictionsSize2 = m.stats.EvictionsByClass[2]
+	c.EvictionsSize3 = m.stats.EvictionsByClass[3]
 	c.CopiedBytes = m.stats.CopiedBytes
 	c.BuddySplits = ms.Splits
 	c.BuddyCoalesces = ms.Coalesces
@@ -359,7 +377,10 @@ func (m *MMU) reclaim(p policy.Page) {
 	m.mem.Free(frame)
 	m.stats.Evictions++
 	if uint(p.Shift) >= addr.ChunkShift {
+		m.stats.EvictionsByClass[1]++
 		m.stats.LargeEvictions++
+	} else {
+		m.stats.EvictionsByClass[0]++
 	}
 }
 

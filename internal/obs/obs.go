@@ -54,15 +54,35 @@ type Counters struct {
 	TLBMissesLarge   uint64 `json:"tlb_misses_large,omitempty"`
 	TLBInvalidations uint64 `json:"tlb_invalidations,omitempty"`
 
-	// Policy transitions carried out during the pass.
-	Promotions uint64 `json:"promotions,omitempty"`
-	Demotions  uint64 `json:"demotions,omitempty"`
+	// TLB activity on the third and fourth size classes of an N-size
+	// hierarchy. Classes 0 and 1 keep the small/large keys above so
+	// every two-size report stays byte-identical; these stay zero (and
+	// thus omitted) unless a run actually uses more than two sizes.
+	TLBHitsSize2   uint64 `json:"tlb_hits_size2,omitempty"`
+	TLBHitsSize3   uint64 `json:"tlb_hits_size3,omitempty"`
+	TLBMissesSize2 uint64 `json:"tlb_misses_size2,omitempty"`
+	TLBMissesSize3 uint64 `json:"tlb_misses_size3,omitempty"`
+
+	// Policy transitions carried out during the pass. Promotions and
+	// Demotions count class-1 (large-page) transitions; the Size2/Size3
+	// variants count transitions into/out of the upper classes of an
+	// N-size ladder and stay zero for two-size runs.
+	Promotions      uint64 `json:"promotions,omitempty"`
+	Demotions       uint64 `json:"demotions,omitempty"`
+	PromotionsSize2 uint64 `json:"promotions_size2,omitempty"`
+	PromotionsSize3 uint64 `json:"promotions_size3,omitempty"`
+	DemotionsSize2  uint64 `json:"demotions_size2,omitempty"`
+	DemotionsSize3  uint64 `json:"demotions_size3,omitempty"`
 
 	// MMU activity (full-translation-path experiments only).
-	PTWalks     uint64 `json:"pt_walks,omitempty"`
-	Faults      uint64 `json:"faults,omitempty"`
-	Evictions   uint64 `json:"evictions,omitempty"`
-	CopiedBytes uint64 `json:"copied_bytes,omitempty"`
+	// EvictionsSize2/3 split evictions of upper-class pages out as the
+	// TLB counters do; they stay zero for two-size runs.
+	PTWalks        uint64 `json:"pt_walks,omitempty"`
+	Faults         uint64 `json:"faults,omitempty"`
+	Evictions      uint64 `json:"evictions,omitempty"`
+	EvictionsSize2 uint64 `json:"evictions_size2,omitempty"`
+	EvictionsSize3 uint64 `json:"evictions_size3,omitempty"`
+	CopiedBytes    uint64 `json:"copied_bytes,omitempty"`
 
 	// Buddy-allocator activity (physmem.Stats). BuddyPeakResident is
 	// the high-water mark of allocated 4KB frames and merges by max.
@@ -92,11 +112,21 @@ func (c *Counters) Add(o Counters) {
 	c.TLBMissesSmall += o.TLBMissesSmall
 	c.TLBMissesLarge += o.TLBMissesLarge
 	c.TLBInvalidations += o.TLBInvalidations
+	c.TLBHitsSize2 += o.TLBHitsSize2
+	c.TLBHitsSize3 += o.TLBHitsSize3
+	c.TLBMissesSize2 += o.TLBMissesSize2
+	c.TLBMissesSize3 += o.TLBMissesSize3
 	c.Promotions += o.Promotions
 	c.Demotions += o.Demotions
+	c.PromotionsSize2 += o.PromotionsSize2
+	c.PromotionsSize3 += o.PromotionsSize3
+	c.DemotionsSize2 += o.DemotionsSize2
+	c.DemotionsSize3 += o.DemotionsSize3
 	c.PTWalks += o.PTWalks
 	c.Faults += o.Faults
 	c.Evictions += o.Evictions
+	c.EvictionsSize2 += o.EvictionsSize2
+	c.EvictionsSize3 += o.EvictionsSize3
 	c.CopiedBytes += o.CopiedBytes
 	c.BuddySplits += o.BuddySplits
 	c.BuddyCoalesces += o.BuddyCoalesces

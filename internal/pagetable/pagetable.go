@@ -15,10 +15,7 @@
 package pagetable
 
 import (
-	"fmt"
-
 	"twopage/internal/addr"
-	"twopage/internal/htab"
 )
 
 // Cycle cost model for software miss handling, loosely itemized from
@@ -63,18 +60,8 @@ type Walk struct {
 	Found  bool
 	Levels int     // dependent loads performed
 	Cycles float64 // full handler cost for this walk
-	Large  bool    // resolved to a large mapping
-}
-
-// chunkEntry is one mapped chunk, held by value in the Table's dense
-// arena: either one large PTE or an inline block table of eight small
-// PTEs. Keeping the block array inline (rather than behind a pointer)
-// removes the per-chunk heap allocation and the GC write barrier the
-// old map-of-pointers layout paid on every chunk creation.
-type chunkEntry struct {
-	large    bool
-	largePTE PTE
-	blocks   [addr.BlocksPerChunk]PTE
+	Large  bool    // resolved to a non-base-class mapping
+	Class  int     // size class the walk resolved to (0 = base page)
 }
 
 // Stats counts page-table activity.
@@ -86,120 +73,39 @@ type Stats struct {
 	CopiedBytes uint64 // bytes copied by promotions/demotions
 }
 
-// Table is a two-page-size page table. Mapped chunks live by value in
-// a dense arena indexed through a flat hash table (chunk number →
-// arena slot); unmapped slots go on a free list and are reused, so a
-// long churn of map/unmap traffic allocates nothing in steady state.
+// Table is the two-page-size page table: the paper's 4KB/32KB chunk
+// model, kept as a thin wrapper over the N-size NTable so the original
+// API (MapSmall/MapLarge, block-array Demote) survives unchanged. The
+// mapping state lives in NTable's per-class arenas; steady-state
+// map/unmap churn allocates nothing, as before.
 type Table struct {
-	idx   *htab.U64    // chunk number -> arena index
-	arena []chunkEntry // dense chunk storage
-	free  []uint32     // recycled arena indices
-	stats Stats
+	nt *NTable
 }
 
-// New returns an empty table.
+// New returns an empty two-size table.
 func New() *Table {
-	return &Table{idx: htab.NewU64(1 << 8)}
+	return &Table{nt: NewNTable(addr.MustShiftClasses(addr.BlockShift, addr.ChunkShift))}
 }
 
-// entry returns the arena slot for chunk c, or nil if unmapped.
-//
-//paperlint:hot
-func (t *Table) entry(c addr.PN) *chunkEntry {
-	i, ok := t.idx.Get(uint64(c))
-	if !ok {
-		return nil
-	}
-	return &t.arena[i]
-}
-
-// alloc binds a fresh (or recycled) arena slot to chunk c and returns
-// it zeroed. The caller must know c is unmapped.
-func (t *Table) alloc(c addr.PN) *chunkEntry {
-	var i uint32
-	if n := len(t.free); n > 0 {
-		i = t.free[n-1]
-		t.free = t.free[:n-1]
-		t.arena[i] = chunkEntry{}
-	} else {
-		i = uint32(len(t.arena))
-		t.arena = append(t.arena, chunkEntry{})
-	}
-	t.idx.Put(uint64(c), uint64(i))
-	return &t.arena[i]
-}
-
-// release unbinds chunk c and recycles its arena slot.
-func (t *Table) release(c addr.PN) {
-	i, ok := t.idx.Get(uint64(c))
-	if !ok {
-		return
-	}
-	t.idx.Delete(uint64(c))
-	t.free = append(t.free, uint32(i))
-}
+// NTable exposes the underlying N-size table.
+func (t *Table) NTable() *NTable { return t.nt }
 
 // MapSmall installs a 4KB mapping for block b. It fails if the chunk is
 // currently mapped as a large page (the OS must demote first).
 func (t *Table) MapSmall(b addr.PN, frame addr.PN) error {
-	c := addr.ChunkOfBlock(b)
-	ce := t.entry(c)
-	if ce == nil {
-		ce = t.alloc(c)
-	}
-	if ce.large {
-		return fmt.Errorf("pagetable: chunk %#x is mapped large", uint64(c))
-	}
-	ce.blocks[addr.BlockIndex(b)] = PTE{Frame: frame, Valid: true}
-	return nil
+	return t.nt.Map(0, b, frame)
 }
 
 // MapLarge installs a 32KB mapping for chunk c, replacing nothing: it
 // fails if any small mapping exists (use Promote) or the chunk is
 // already large.
 func (t *Table) MapLarge(c addr.PN, frame addr.PN) error {
-	ce := t.entry(c)
-	if ce != nil {
-		if ce.large {
-			return fmt.Errorf("pagetable: chunk %#x already mapped large", uint64(c))
-		}
-		for _, pte := range ce.blocks {
-			if pte.Valid {
-				return fmt.Errorf("pagetable: chunk %#x has small mappings; promote instead", uint64(c))
-			}
-		}
-	} else {
-		ce = t.alloc(c)
-	}
-	*ce = chunkEntry{large: true, largePTE: PTE{Frame: frame, Valid: true, Large: true}}
-	return nil
+	return t.nt.Map(1, c, frame)
 }
 
 // Unmap removes the mapping covering va (a small PTE or the whole large
 // page). It reports whether anything was unmapped.
-func (t *Table) Unmap(va addr.VA) bool {
-	c := addr.Chunk(va)
-	ce := t.entry(c)
-	if ce == nil {
-		return false
-	}
-	if ce.large {
-		t.release(c)
-		return true
-	}
-	i := addr.BlockInChunk(va)
-	if !ce.blocks[i].Valid {
-		return false
-	}
-	ce.blocks[i] = PTE{}
-	for _, pte := range ce.blocks {
-		if pte.Valid {
-			return true
-		}
-	}
-	t.release(c)
-	return true
-}
+func (t *Table) Unmap(va addr.VA) bool { return t.nt.Unmap(va) }
 
 // Lookup walks the table for va as a two-size-aware miss handler would,
 // charging the full handler cost model. It runs on every simulated TLB
@@ -207,76 +113,33 @@ func (t *Table) Unmap(va addr.VA) bool {
 // index, no allocation.
 //
 //paperlint:hot
-func (t *Table) Lookup(va addr.VA) (PTE, Walk) {
-	t.stats.Lookups++
-	w := Walk{Cycles: TrapCycles + SizeProbeCycles + InsertCycles}
-	ce := t.entry(addr.Chunk(va))
-	w.Levels = 1
-	w.Cycles += LoadCycles
-	if ce == nil {
-		t.stats.Misses++
-		return PTE{}, w
-	}
-	if ce.large {
-		w.Found = true
-		w.Large = true
-		return ce.largePTE, w
-	}
-	w.Levels = 2
-	w.Cycles += LoadCycles
-	pte := ce.blocks[addr.BlockInChunk(va)]
-	if !pte.Valid {
-		t.stats.Misses++
-		return PTE{}, w
-	}
-	w.Found = true
-	return pte, w
-}
+func (t *Table) Lookup(va addr.VA) (PTE, Walk) { return t.nt.Lookup(va) }
 
 // Promote collapses chunk c's small mappings into one large mapping at
 // newFrame. It returns the small frames that were freed and how many of
 // the eight blocks were resident (and therefore copied to the new large
 // frame). It fails if the chunk has no small mappings.
 func (t *Table) Promote(c addr.PN, newFrame addr.PN) (freed []addr.PN, copied int, err error) {
-	ce := t.entry(c)
-	if ce == nil || ce.large {
-		return nil, 0, fmt.Errorf("pagetable: chunk %#x has no small mappings to promote", uint64(c))
+	fr, _, err := t.nt.Promote(1, c, newFrame)
+	if err != nil {
+		return nil, 0, err
 	}
-	for _, pte := range ce.blocks {
-		if pte.Valid {
-			freed = append(freed, pte.Frame)
-			copied++
-		}
+	freed = make([]addr.PN, len(fr))
+	for i, f := range fr {
+		freed[i] = f.Frame
 	}
-	if copied == 0 {
-		return nil, 0, fmt.Errorf("pagetable: chunk %#x is empty", uint64(c))
-	}
-	*ce = chunkEntry{large: true, largePTE: PTE{Frame: newFrame, Valid: true, Large: true}}
-	t.stats.Promotions++
-	t.stats.CopiedBytes += uint64(copied) * addr.BlockSize
-	return freed, copied, nil
+	return freed, len(fr), nil
 }
 
 // Demote splits chunk c's large mapping into eight small mappings at the
 // given frames (all eight blocks become resident). It returns the freed
 // large frame.
 func (t *Table) Demote(c addr.PN, frames [addr.BlocksPerChunk]addr.PN) (addr.PN, error) {
-	ce := t.entry(c)
-	if ce == nil || !ce.large {
-		return 0, fmt.Errorf("pagetable: chunk %#x is not mapped large", uint64(c))
-	}
-	old := ce.largePTE.Frame
-	*ce = chunkEntry{}
-	for i, f := range frames {
-		ce.blocks[i] = PTE{Frame: f, Valid: true}
-	}
-	t.stats.Demotions++
-	t.stats.CopiedBytes += addr.ChunkSize
-	return old, nil
+	return t.nt.Demote(1, c, frames[:])
 }
 
 // Stats returns a snapshot of the counters.
-func (t *Table) Stats() Stats { return t.stats }
+func (t *Table) Stats() Stats { return t.nt.Stats() }
 
 // MappedChunks returns how many chunks have any mapping.
-func (t *Table) MappedChunks() int { return t.idx.Len() }
+func (t *Table) MappedChunks() int { return t.nt.MappedRegions() }

@@ -22,8 +22,12 @@ import (
 // (madvise-style, or a linker packing hot segments onto aligned 32KB
 // regions).
 type RegionConfig struct {
-	// LargeRegions lists [start, end) byte ranges to map large. They
-	// are rounded outward to 32KB boundaries.
+	// LargeRegions lists [start, end) byte ranges to map large. Each
+	// range must be non-empty and 32KB-aligned at both ends (a static
+	// placement hint that isn't chunk-aligned can't be honored by the
+	// hardware, so it is rejected rather than silently widened), and
+	// ranges must not overlap one another. Adjacent ranges are allowed
+	// and coalesce.
 	LargeRegions []Range
 }
 
@@ -40,26 +44,43 @@ type Region struct {
 	stats  TwoSizeStats
 }
 
-// NewRegion builds the static-hint policy from cfg.
+// NewRegion builds the static-hint policy from cfg. It rejects, naming
+// the offending region(s): empty ranges, ranges not aligned to the 32KB
+// chunk size at both ends, and ranges that overlap another range.
 func NewRegion(cfg RegionConfig) (*Region, error) {
-	type span struct{ lo, hi addr.PN }
+	type span struct {
+		lo, hi addr.PN
+		idx    int // position in cfg.LargeRegions, for error messages
+	}
+	const mask = addr.ChunkSize - 1
 	var spans []span
-	for _, r := range cfg.LargeRegions {
+	for i, r := range cfg.LargeRegions {
 		if r.End <= r.Start {
-			return nil, fmt.Errorf("policy: empty region [%#x, %#x)", uint64(r.Start), uint64(r.End))
+			return nil, fmt.Errorf("policy: region %d [%#x, %#x) is empty",
+				i, uint64(r.Start), uint64(r.End))
+		}
+		if uint64(r.Start)&mask != 0 || uint64(r.End)&mask != 0 {
+			return nil, fmt.Errorf("policy: region %d [%#x, %#x) is not %s-aligned",
+				i, uint64(r.Start), uint64(r.End), addr.PageSize(addr.ChunkSize))
 		}
 		spans = append(spans, span{
-			lo: addr.Chunk(r.Start),
-			hi: addr.Chunk(r.End-1) + 1,
+			lo:  addr.Chunk(r.Start),
+			hi:  addr.Chunk(r.End-1) + 1,
+			idx: i,
 		})
 	}
 	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
 	p := &Region{}
+	prev := span{idx: -1}
 	for _, s := range spans {
-		if n := len(p.ends); n > 0 && s.lo <= p.ends[n-1] {
-			if s.hi > p.ends[n-1] {
-				p.ends[n-1] = s.hi // merge overlap
-			}
+		if n := len(p.ends); n > 0 && s.lo < p.ends[n-1] {
+			return nil, fmt.Errorf("policy: region %d [%#x, %#x) overlaps region %d [%#x, %#x)",
+				s.idx, uint64(s.lo)<<addr.ChunkShift, uint64(s.hi)<<addr.ChunkShift,
+				prev.idx, uint64(prev.lo)<<addr.ChunkShift, uint64(prev.hi)<<addr.ChunkShift)
+		}
+		prev = s
+		if n := len(p.ends); n > 0 && s.lo == p.ends[n-1] {
+			p.ends[n-1] = s.hi // coalesce adjacency
 			continue
 		}
 		p.chunks = append(p.chunks, s.lo)
@@ -88,6 +109,11 @@ func (p *Region) Assign(va addr.VA) Result {
 
 // Name implements Assigner.
 func (p *Region) Name() string { return "4KB/32KB static" }
+
+// SizeClasses implements MultiSize.
+func (p *Region) SizeClasses() addr.SizeClasses {
+	return addr.MustShiftClasses(addr.BlockShift, addr.ChunkShift)
+}
 
 // Stats returns reference counters.
 func (p *Region) Stats() TwoSizeStats { return p.stats }
@@ -149,6 +175,7 @@ func (p *Cumulative) Assign(va addr.VA) Result {
 			p.stats.Promotions++
 			res.Event = EventPromote
 			res.Chunk = c
+			res.Level = 1
 		}
 	}
 	if isLarge {
@@ -163,6 +190,11 @@ func (p *Cumulative) Assign(va addr.VA) Result {
 
 // Name implements Assigner.
 func (p *Cumulative) Name() string { return "4KB/32KB cumulative" }
+
+// SizeClasses implements MultiSize.
+func (p *Cumulative) SizeClasses() addr.SizeClasses {
+	return addr.MustShiftClasses(addr.BlockShift, addr.ChunkShift)
+}
 
 // Stats returns policy counters.
 func (p *Cumulative) Stats() TwoSizeStats {

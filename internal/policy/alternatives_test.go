@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"strings"
 	"testing"
 
 	"twopage/internal/addr"
@@ -8,8 +9,8 @@ import (
 
 func TestRegionAssign(t *testing.T) {
 	p, err := NewRegion(RegionConfig{LargeRegions: []Range{
-		{Start: 0x10000, End: 0x30000},   // chunks 2..5 (rounded outward)
-		{Start: 0x100000, End: 0x100001}, // single byte → chunk 32
+		{Start: 0x10000, End: 0x30000},   // chunks 2..5
+		{Start: 0x100000, End: 0x108000}, // chunk 32
 	}})
 	if err != nil {
 		t.Fatal(err)
@@ -22,10 +23,9 @@ func TestRegionAssign(t *testing.T) {
 	if res.Event != EventNone {
 		t.Fatal("static policy must not emit events")
 	}
-	// Rounding outward: 0x10000 is chunk 2 start; end 0x30000 → chunk 5
-	// is last included (0x2FFFF is in chunk 5).
+	// 0x2FFFF is in chunk 5, the last chunk of [0x10000, 0x30000).
 	if got := p.Assign(0x2FFFF); got.Page.Shift != addr.ChunkShift {
-		t.Fatalf("end rounding: %+v", got.Page)
+		t.Fatalf("end of region: %+v", got.Page)
 	}
 	if got := p.Assign(0x30000); got.Page.Shift != addr.BlockShift {
 		t.Fatalf("past end should be small: %+v", got.Page)
@@ -34,9 +34,9 @@ func TestRegionAssign(t *testing.T) {
 	if got := p.Assign(0x50000); got.Page.Shift != addr.BlockShift {
 		t.Fatalf("outside assign: %+v", got.Page)
 	}
-	// Single-byte region covers its whole chunk.
+	// One-chunk region covers its whole chunk.
 	if got := p.Assign(0x107FFF); got.Page.Shift != addr.ChunkShift {
-		t.Fatalf("tiny region: %+v", got.Page)
+		t.Fatalf("one-chunk region: %+v", got.Page)
 	}
 	st := p.Stats()
 	if st.Refs != 5 || st.LargeRefs != 3 || st.SmallRefs != 2 {
@@ -47,10 +47,10 @@ func TestRegionAssign(t *testing.T) {
 	}
 }
 
-func TestRegionMergesOverlaps(t *testing.T) {
+func TestRegionCoalescesAdjacent(t *testing.T) {
 	p, err := NewRegion(RegionConfig{LargeRegions: []Range{
 		{Start: 0x40000, End: 0x50000},
-		{Start: 0x48000, End: 0x60000}, // overlaps previous
+		{Start: 0x50000, End: 0x60000}, // adjacent to the previous
 		{Start: 0x00000, End: 0x08000},
 	}})
 	if err != nil {
@@ -62,13 +62,53 @@ func TestRegionMergesOverlaps(t *testing.T) {
 		}
 	}
 	if got := p.Assign(0x60000); got.Page.Shift != addr.BlockShift {
-		t.Fatal("past merged end should be small")
+		t.Fatal("past coalesced end should be small")
 	}
 }
 
 func TestRegionValidation(t *testing.T) {
-	if _, err := NewRegion(RegionConfig{LargeRegions: []Range{{Start: 5, End: 5}}}); err == nil {
-		t.Fatal("empty range should fail")
+	cases := []struct {
+		name    string
+		regions []Range
+		wantErr string // substring of the error; "" means valid
+	}{
+		{"no regions", nil, ""},
+		{"one chunk", []Range{{Start: 0x8000, End: 0x10000}}, ""},
+		{"adjacent", []Range{{Start: 0x0, End: 0x8000}, {Start: 0x8000, End: 0x10000}}, ""},
+		{"empty range", []Range{{Start: 5, End: 5}}, "region 0 [0x5, 0x5) is empty"},
+		{"inverted range", []Range{{Start: 0x10000, End: 0x8000}}, "is empty"},
+		{"unaligned start", []Range{{Start: 0x1000, End: 0x8000}},
+			"region 0 [0x1000, 0x8000) is not 32KB-aligned"},
+		{"unaligned end", []Range{{Start: 0x8000, End: 0x9000}},
+			"region 0 [0x8000, 0x9000) is not 32KB-aligned"},
+		{"overlap", []Range{{Start: 0x40000, End: 0x50000}, {Start: 0x48000, End: 0x60000}},
+			"region 1 [0x48000, 0x60000) overlaps region 0 [0x40000, 0x50000)"},
+		{"duplicate", []Range{{Start: 0x8000, End: 0x10000}, {Start: 0x8000, End: 0x10000}},
+			"overlaps"},
+		{"contained", []Range{{Start: 0x0, End: 0x20000}, {Start: 0x8000, End: 0x10000}},
+			"overlaps"},
+		{"overlap given out of order", []Range{{Start: 0x48000, End: 0x60000}, {Start: 0x40000, End: 0x50000}},
+			"region 0 [0x48000, 0x60000) overlaps region 1 [0x40000, 0x50000)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewRegion(RegionConfig{LargeRegions: tc.regions})
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+			if p != nil {
+				t.Fatal("policy should be nil on error")
+			}
+		})
 	}
 	// No regions at all: everything small.
 	p, err := NewRegion(RegionConfig{})

@@ -1,0 +1,233 @@
+package policy
+
+import (
+	"fmt"
+
+	"twopage/internal/addr"
+	"twopage/internal/htab"
+	"twopage/internal/window"
+)
+
+// MultiSize is implemented by every policy that assigns pages from a
+// multi-size hierarchy. The simulator uses it to size the miss-penalty
+// model and to know which classes a promotion/demotion event spans.
+type MultiSize interface {
+	Assigner
+	// SizeClasses returns the policy's page-size hierarchy, smallest
+	// class first.
+	SizeClasses() addr.SizeClasses
+}
+
+// LadderConfig parameterizes the N-level promotion ladder, the
+// generalization of the paper's Section 3.4 policy to hierarchies like
+// Trident's 4K/2M/1G: block→chunk→superchunk, each level promoted when
+// enough of its children are live in the reference window.
+type LadderConfig struct {
+	// T is the reference-window length used to judge block activity,
+	// exactly as in TwoSizeConfig. Must be > 0.
+	T int
+	// Classes is the page-size hierarchy. Class 0 must be the 4KB block
+	// (the window tracker's unit); 2 to addr.MaxSizeClasses levels, all
+	// shifts at most 24 (the window's chunk-counting bound).
+	Classes addr.SizeClasses
+	// Thresholds[k-1] is the support needed to promote a class-k region:
+	// for k == 1, active blocks in the window (the paper's rule); for
+	// k >= 2, currently mapped class-(k-1) children. Each must be in
+	// [1, Classes.Fanout(k)].
+	Thresholds []int
+	// Demote, when true, demotes a mapped region back when its support
+	// falls below the threshold (checked on access, top level first).
+	Demote bool
+	// Deny, if non-nil, vetoes promotion of a specific class-k region —
+	// the N-level form of TwoSizeConfig.DenyPromotion.
+	Deny func(level int, region addr.PN) bool
+}
+
+// DefaultLadderConfig returns the half-or-more rule at every level for
+// the given hierarchy, with demotion on — the natural extension of the
+// paper's parameters.
+func DefaultLadderConfig(T int, classes addr.SizeClasses) LadderConfig {
+	thr := make([]int, classes.N()-1)
+	for k := 1; k < classes.N(); k++ {
+		thr[k-1] = classes.Fanout(k) / 2
+	}
+	return LadderConfig{T: T, Classes: classes, Thresholds: thr, Demote: true}
+}
+
+// LadderStats counts N-level policy activity, indexed by size class.
+type LadderStats struct {
+	Refs        uint64                            // references observed
+	RefsByClass [addr.MaxSizeClasses]uint64       // references landing on each class
+	Promotions  [addr.MaxSizeClasses]uint64       // promotions *into* class k (k >= 1)
+	Demotions   [addr.MaxSizeClasses]uint64       // demotions *out of* class k (k >= 1)
+	Mapped      [addr.MaxSizeClasses]int          // regions currently mapped at class k
+}
+
+// Ladder is the N-level dynamic page-size assignment policy. With two
+// classes it reproduces TwoSize decision-for-decision (the two-size
+// constructor is a shim over it; internal/tworef pins the equivalence).
+//
+// One reference triggers at most one transition, evaluated top level
+// first: the largest class wins ties, mirroring how the two-size policy
+// resolves promotion and demotion in a single Assign step. Support for
+// level 1 is the window's active-block count; support for level k >= 2
+// is how many class-(k-1) children are currently mapped, so promotion
+// pressure propagates up the ladder one level per reference.
+type Ladder struct {
+	cfg    LadderConfig
+	win    *window.Tracker
+	mapped [addr.MaxSizeClasses]*htab.Set     // k >= 1: regions mapped at class k
+	kids   [addr.MaxSizeClasses]*htab.Counter // k >= 2: region -> mapped class-(k-1) children
+	stats  LadderStats
+}
+
+// NewLadder returns the N-level policy for the given configuration.
+func NewLadder(cfg LadderConfig) *Ladder {
+	if cfg.T <= 0 {
+		panic("policy: LadderConfig.T must be positive")
+	}
+	n := cfg.Classes.N()
+	if n < 2 {
+		panic(fmt.Sprintf("policy: ladder needs at least two size classes, got %d", n))
+	}
+	if cfg.Classes.Shift(0) != addr.BlockShift {
+		panic(fmt.Sprintf("policy: ladder base class must be the 4KB block, got shift %d",
+			cfg.Classes.Shift(0)))
+	}
+	if top := cfg.Classes.TopShift(); top > 24 {
+		panic(fmt.Sprintf("policy: top shift %d out of range (%d,24]", top, addr.BlockShift))
+	}
+	if len(cfg.Thresholds) != n-1 {
+		panic(fmt.Sprintf("policy: ladder needs %d thresholds for %d classes, got %d",
+			n-1, n, len(cfg.Thresholds)))
+	}
+	for k := 1; k < n; k++ {
+		if thr, fan := cfg.Thresholds[k-1], cfg.Classes.Fanout(k); thr < 1 || thr > fan {
+			panic(fmt.Sprintf("policy: class-%d threshold %d out of range [1,%d]", k, thr, fan))
+		}
+	}
+	l := &Ladder{
+		cfg: cfg,
+		win: window.NewWithChunkShift(cfg.T, cfg.Classes.Shift(1)),
+	}
+	for k := 1; k < n; k++ {
+		l.mapped[k] = htab.NewSet(1 << 8)
+		if k >= 2 {
+			l.kids[k] = htab.NewCounter(1 << 8)
+		}
+	}
+	return l
+}
+
+// Window exposes the policy's sliding-window tracker so working-set
+// calculators can observe the same window without a second ring buffer.
+// Hooks must be registered before the first Assign.
+func (l *Ladder) Window() *window.Tracker { return l.win }
+
+// Config returns the policy's configuration.
+func (l *Ladder) Config() LadderConfig { return l.cfg }
+
+// SizeClasses implements MultiSize.
+func (l *Ladder) SizeClasses() addr.SizeClasses { return l.cfg.Classes }
+
+// Stats returns a snapshot of policy counters.
+func (l *Ladder) Stats() LadderStats {
+	s := l.stats
+	for k := 1; k < l.cfg.Classes.N(); k++ {
+		s.Mapped[k] = l.mapped[k].Len()
+	}
+	return s
+}
+
+// MappedAt reports whether the class-k region is currently mapped at
+// class k (k >= 1).
+func (l *Ladder) MappedAt(k int, region addr.PN) bool {
+	return l.mapped[k].Has(uint64(region))
+}
+
+// MappedCount returns how many regions are mapped at class k (k >= 1).
+func (l *Ladder) MappedCount(k int) int { return l.mapped[k].Len() }
+
+// TopMappedClass returns the largest class at which the class-1 chunk c
+// is covered by a mapping, or 0 if references in c resolve to base
+// blocks. Used by the sampled N-size working-set calculator.
+func (l *Ladder) TopMappedClass(c addr.PN) int {
+	for k := l.cfg.Classes.N() - 1; k >= 1; k-- {
+		if l.mapped[k].Has(uint64(l.cfg.Classes.Up(c, 1, k))) {
+			return k
+		}
+	}
+	return 0
+}
+
+// promote maps region r at class k and propagates the child count up.
+func (l *Ladder) promote(k int, r addr.PN) {
+	l.mapped[k].Add(uint64(r))
+	l.stats.Promotions[k]++
+	if k+1 < l.cfg.Classes.N() {
+		l.kids[k+1].Add(uint64(l.cfg.Classes.Up(r, k, k+1)), 1)
+	}
+}
+
+// demote unmaps region r at class k and propagates the child count up.
+func (l *Ladder) demote(k int, r addr.PN) {
+	l.mapped[k].Remove(uint64(r))
+	l.stats.Demotions[k]++
+	if k+1 < l.cfg.Classes.N() {
+		l.kids[k+1].Add(uint64(l.cfg.Classes.Up(r, k, k+1)), -1)
+	}
+}
+
+// Assign implements Assigner: record the reference in the window, apply
+// at most one promotion/demotion (top level first), and resolve the
+// reference to the largest covering mapped class. Per-reference hot
+// path: one window step plus a few flat-table probes.
+//
+//paperlint:hot
+func (l *Ladder) Assign(va addr.VA) Result {
+	l.stats.Refs++
+	l.win.StepVA(va)
+	n := l.cfg.Classes.N()
+	var res Result
+	for k := n - 1; k >= 1; k-- {
+		r := l.cfg.Classes.Page(va, k)
+		var support int
+		if k == 1 {
+			support = l.win.ChunkActive(r)
+		} else {
+			support = int(l.kids[k].Get(uint64(r)))
+		}
+		isMapped := l.mapped[k].Has(uint64(r))
+		thr := l.cfg.Thresholds[k-1]
+		switch {
+		case !isMapped && support >= thr &&
+			(l.cfg.Deny == nil || !l.cfg.Deny(k, r)):
+			l.promote(k, r)
+			res.Event, res.Chunk, res.Level = EventPromote, r, k
+		case isMapped && l.cfg.Demote && support < thr:
+			l.demote(k, r)
+			res.Event, res.Chunk, res.Level = EventDemote, r, k
+		default:
+			continue
+		}
+		break
+	}
+	for k := n - 1; k >= 1; k-- {
+		r := l.cfg.Classes.Page(va, k)
+		if l.mapped[k].Has(uint64(r)) {
+			l.stats.RefsByClass[k]++
+			res.Page = Page{Number: r, Shift: l.cfg.Classes.Shift(k)}
+			return res
+		}
+	}
+	l.stats.RefsByClass[0]++
+	res.Page = Page{Number: addr.Block(va), Shift: addr.BlockShift}
+	return res
+}
+
+// Name implements Assigner, e.g. "4KB/32KB/256KB ladder".
+func (l *Ladder) Name() string {
+	return l.cfg.Classes.String() + " ladder"
+}
+
+var _ MultiSize = (*Ladder)(nil)

@@ -20,7 +20,6 @@ import (
 	"fmt"
 
 	"twopage/internal/addr"
-	"twopage/internal/htab"
 	"twopage/internal/window"
 )
 
@@ -61,7 +60,10 @@ const (
 type Result struct {
 	Page  Page    // the page the reference falls on, after any transition
 	Event Event   // transition triggered by this reference, if any
-	Chunk addr.PN // chunk affected by the transition (valid when Event != EventNone)
+	Chunk addr.PN // region affected by the transition, numbered at class Level (valid when Event != EventNone)
+	// Level is the size class a promotion enters or a demotion leaves;
+	// always 1 for two-size policies, 1..N-1 for the N-level ladder.
+	Level int
 }
 
 // Assigner maps each reference to its page and carries out any dynamic
@@ -158,13 +160,14 @@ type TwoSizeStats struct {
 }
 
 // TwoSize is the paper's dynamic page-size assignment policy
-// (Section 3.4). It owns a sliding-window tracker; the working-set
-// calculator for the two-page scheme shares the same tracker via Window.
+// (Section 3.4), kept as the two-class constructor over the N-level
+// Ladder core — its decisions are pinned against the pre-generalization
+// implementation by internal/tworef's differential tests. It owns a
+// sliding-window tracker; the working-set calculator for the two-page
+// scheme shares the same tracker via Window.
 type TwoSize struct {
-	cfg   TwoSizeConfig
-	win   *window.Tracker
-	large *htab.Set // chunks currently mapped as one large page
-	stats TwoSizeStats
+	cfg    TwoSizeConfig
+	ladder *Ladder
 }
 
 // NewTwoSize returns the dynamic policy for the given configuration.
@@ -184,69 +187,53 @@ func NewTwoSize(cfg TwoSizeConfig) *TwoSize {
 		panic(fmt.Sprintf("policy: threshold %d out of range [1,%d]",
 			cfg.Threshold, bpc))
 	}
-	return &TwoSize{
-		cfg:   cfg,
-		win:   window.NewWithChunkShift(cfg.T, cfg.LargeShift),
-		large: htab.NewSet(1 << 8),
+	lcfg := LadderConfig{
+		T:          cfg.T,
+		Classes:    addr.MustShiftClasses(addr.BlockShift, cfg.LargeShift),
+		Thresholds: []int{cfg.Threshold},
+		Demote:     cfg.Demote,
 	}
+	if deny := cfg.DenyPromotion; deny != nil {
+		lcfg.Deny = func(_ int, region addr.PN) bool { return deny(region) }
+	}
+	return &TwoSize{cfg: cfg, ladder: NewLadder(lcfg)}
 }
 
 // Window exposes the policy's sliding-window tracker so that other
 // consumers (the two-page working-set calculator) can observe the same
 // window without a second ring buffer. Hooks must be registered before
 // the first Assign.
-func (p *TwoSize) Window() *window.Tracker { return p.win }
+func (p *TwoSize) Window() *window.Tracker { return p.ladder.Window() }
 
 // Config returns the policy's configuration.
 func (p *TwoSize) Config() TwoSizeConfig { return p.cfg }
 
+// SizeClasses implements MultiSize.
+func (p *TwoSize) SizeClasses() addr.SizeClasses { return p.ladder.SizeClasses() }
+
 // Stats returns a snapshot of policy counters.
 func (p *TwoSize) Stats() TwoSizeStats {
-	s := p.stats
-	s.LargeChunks = p.large.Len()
-	return s
+	ls := p.ladder.Stats()
+	return TwoSizeStats{
+		Refs:        ls.Refs,
+		LargeRefs:   ls.RefsByClass[1],
+		SmallRefs:   ls.RefsByClass[0],
+		Promotions:  ls.Promotions[1],
+		Demotions:   ls.Demotions[1],
+		LargeChunks: p.ladder.MappedCount(1),
+	}
 }
 
 // IsLarge reports whether chunk c is currently mapped as a large page.
-func (p *TwoSize) IsLarge(c addr.PN) bool { return p.large.Has(uint64(c)) }
+func (p *TwoSize) IsLarge(c addr.PN) bool { return p.ladder.MappedAt(1, c) }
 
 // Assign implements Assigner: it records the reference in the window,
 // applies the promotion/demotion rule to the referenced chunk, and
 // returns the page the reference falls on under the resulting mapping.
-// Per-reference hot path: one window step plus flat-table probes.
+// Per-reference hot path: one delegated ladder step.
 //
 //paperlint:hot
-func (p *TwoSize) Assign(va addr.VA) Result {
-	p.stats.Refs++
-	p.win.StepVA(va)
-	c := addr.Page(va, p.cfg.LargeShift)
-	active := p.win.ChunkActive(c)
-	isLarge := p.large.Has(uint64(c))
-	var res Result
-	switch {
-	case !isLarge && active >= p.cfg.Threshold &&
-		(p.cfg.DenyPromotion == nil || !p.cfg.DenyPromotion(c)):
-		p.large.Add(uint64(c))
-		isLarge = true
-		p.stats.Promotions++
-		res.Event = EventPromote
-		res.Chunk = c
-	case isLarge && p.cfg.Demote && active < p.cfg.Threshold:
-		p.large.Remove(uint64(c))
-		isLarge = false
-		p.stats.Demotions++
-		res.Event = EventDemote
-		res.Chunk = c
-	}
-	if isLarge {
-		p.stats.LargeRefs++
-		res.Page = Page{Number: c, Shift: p.cfg.LargeShift}
-	} else {
-		p.stats.SmallRefs++
-		res.Page = Page{Number: addr.Block(va), Shift: addr.BlockShift}
-	}
-	return res
-}
+func (p *TwoSize) Assign(va addr.VA) Result { return p.ladder.Assign(va) }
 
 // Name implements Assigner.
 func (p *TwoSize) Name() string {
@@ -258,8 +245,9 @@ func (p *TwoSize) Name() string {
 // (Section 5.2 attributes espresso/worm degradation to "insufficient use
 // of large pages during page-size assignment").
 func (p *TwoSize) LargeFraction() float64 {
-	if p.stats.Refs == 0 {
+	ls := p.ladder.Stats()
+	if ls.Refs == 0 {
 		return 0
 	}
-	return float64(p.stats.LargeRefs) / float64(p.stats.Refs)
+	return float64(ls.RefsByClass[1]) / float64(ls.Refs)
 }

@@ -1,32 +1,44 @@
 // Package tlb models translation lookaside buffers that support one or
-// two page sizes, reproducing the design space of Section 2 of the paper.
+// more page sizes, reproducing — and generalizing — the design space of
+// Section 2 of the paper.
 //
 // A fully associative TLB (Section 2.1) stores the page size in each tag
 // and needs a comparator per entry; it is the straightforward but
 // expensive design. Set-associative TLBs (Section 2.2) must choose which
 // address bits select the set:
 //
-//   - IndexSmall: the least significant bits of the *small* page number.
-//     Broken for large pages: bits <14:12> are part of a 32KB page's
-//     offset, so one large page lands in many sets (Figure 2.1).
-//   - IndexLarge: the least significant bits of the *large* page number.
-//     Works for large pages but makes eight consecutive small pages
+//   - IndexSmall: the least significant bits of the *smallest* page
+//     number. Broken for larger pages: bits <14:12> are part of a 32KB
+//     page's offset, so one large page lands in many sets (Figure 2.1).
+//   - IndexLarge: the least significant bits of the *largest* page
+//     number. Works for large pages but makes consecutive small pages
 //     compete for one set; severe if the OS allocates no large pages.
 //   - IndexExact: index with the page's own page-number bits. Requires
 //     either parallel probes, a sequential reprobe, or split TLBs; the
 //     contents (and therefore hit/miss behaviour) are the same for the
 //     first two, differing only in hit cost, which Stats exposes as
 //     Reprobes for the sequential variant.
+//   - IndexByClass(k): the least significant bits of class k's page
+//     number — the N-size generalization that makes "small index" and
+//     "large index" the two ends of a spectrum of middle-class indexing
+//     choices.
 //
-// SplitTLB models option (c) of Section 2.2: separate TLBs per page
-// size, both probed in parallel with their own index.
+// The page-size hierarchy itself is a parameter (Config.Shifts,
+// validated through addr.SizeClasses); the paper's 4KB/32KB pair is the
+// two-class default, and the legacy SmallShift/LargeShift fields remain
+// as deprecated shims over it.
 //
-// All models count hits/misses per page size and support the entry
+// SplitTLB models option (c) of Section 2.2 for two sizes: separate
+// TLBs per page size, both probed in parallel with their own index.
+// MultiSplit is its N-class generalization (one half per class).
+//
+// All models count hits/misses per size class and support the entry
 // invalidation that page promotion/demotion requires.
 package tlb
 
 import (
 	"fmt"
+	"strings"
 
 	"twopage/internal/addr"
 	"twopage/internal/obs"
@@ -34,15 +46,39 @@ import (
 )
 
 // IndexScheme selects which address bits index a set-associative TLB
-// (Section 2.2 of the paper).
+// (Section 2.2 of the paper, generalized to per-class indexing).
 type IndexScheme uint8
 
-// Index schemes.
+// Index schemes. IndexSmall and IndexLarge are aliases for indexing by
+// the lowest and highest configured class; IndexByClass(k) names any
+// class explicitly.
 const (
-	IndexSmall IndexScheme = iota // small-page-number bits (broken for large pages)
-	IndexLarge                    // large-page-number bits
+	IndexSmall IndexScheme = iota // smallest-class page-number bits (broken for large pages)
+	IndexLarge                    // largest-class page-number bits
 	IndexExact                    // the accessed page's own page-number bits
+
+	// indexClassBase is the first per-class scheme value; IndexByClass
+	// builds on it.
+	indexClassBase
 )
+
+// IndexByClass returns the scheme that indexes with size class k's
+// page-number bits. k must be in [0, addr.MaxSizeClasses).
+func IndexByClass(k int) IndexScheme {
+	if k < 0 || k >= addr.MaxSizeClasses {
+		panic(fmt.Sprintf("tlb: index class %d out of range [0,%d)", k, addr.MaxSizeClasses))
+	}
+	return indexClassBase + IndexScheme(k)
+}
+
+// Class returns the explicit class a per-class scheme indexes by, and
+// whether s is such a scheme.
+func (s IndexScheme) Class() (int, bool) {
+	if s >= indexClassBase && s < indexClassBase+addr.MaxSizeClasses {
+		return int(s - indexClassBase), true
+	}
+	return 0, false
+}
 
 // String names the scheme as in the paper's Table 5.1.
 func (s IndexScheme) String() string {
@@ -53,9 +89,11 @@ func (s IndexScheme) String() string {
 		return "large index"
 	case IndexExact:
 		return "exact index"
-	default:
-		return fmt.Sprintf("IndexScheme(%d)", uint8(s))
 	}
+	if k, ok := s.Class(); ok {
+		return fmt.Sprintf("class%d index", k)
+	}
+	return fmt.Sprintf("IndexScheme(%d)", uint8(s))
 }
 
 // Replacement selects the per-set replacement policy.
@@ -83,21 +121,65 @@ func (r Replacement) String() string {
 }
 
 // Stats are TLB access counters. Hits and misses are broken down by the
-// page size of the access so CPI accounting can weigh them.
+// size class of the access so CPI accounting can weigh them.
 type Stats struct {
 	Accesses      uint64 // total lookups
-	SmallHits     uint64 // hits on small (4KB..) pages
-	LargeHits     uint64 // hits on large (32KB) pages
-	SmallMisses   uint64 // misses on small pages
-	LargeMisses   uint64 // misses on large pages
 	Invalidations uint64 // entries removed by Invalidate
+	// Classes is how many size classes the owning TLB supports. Zero is
+	// treated as the legacy two-class layout by the derived metrics.
+	Classes int
+	// HitsByClass and MissesByClass split the traffic by size class;
+	// class 0 is the smallest page. Only the first Classes entries are
+	// ever nonzero.
+	HitsByClass   [addr.MaxSizeClasses]uint64
+	MissesByClass [addr.MaxSizeClasses]uint64
+}
+
+// NewStats returns a zeroed Stats for a TLB supporting the given
+// hierarchy; wrappers that keep their own counters use it so derived
+// metrics know the class count.
+func NewStats(classes addr.SizeClasses) Stats { return Stats{Classes: classes.N()} }
+
+// Count records one access outcome against size class k.
+func (s *Stats) Count(k int, hit bool) {
+	if hit {
+		s.HitsByClass[k]++
+	} else {
+		s.MissesByClass[k]++
+	}
+}
+
+// Merge accumulates another TLB's counters (split halves, multi-level
+// wrappers). The class count is the maximum of the two.
+func (s *Stats) Merge(o Stats) {
+	s.Accesses += o.Accesses
+	s.Invalidations += o.Invalidations
+	if o.Classes > s.Classes {
+		s.Classes = o.Classes
+	}
+	for k := range s.HitsByClass {
+		s.HitsByClass[k] += o.HitsByClass[k]
+		s.MissesByClass[k] += o.MissesByClass[k]
+	}
 }
 
 // Hits returns total hits.
-func (s Stats) Hits() uint64 { return s.SmallHits + s.LargeHits }
+func (s Stats) Hits() uint64 {
+	var n uint64
+	for _, h := range s.HitsByClass {
+		n += h
+	}
+	return n
+}
 
 // Misses returns total misses.
-func (s Stats) Misses() uint64 { return s.SmallMisses + s.LargeMisses }
+func (s Stats) Misses() uint64 {
+	var n uint64
+	for _, m := range s.MissesByClass {
+		n += m
+	}
+	return n
+}
 
 // MissRatio returns misses/accesses, or 0 for an untouched TLB.
 func (s Stats) MissRatio() float64 {
@@ -107,24 +189,73 @@ func (s Stats) MissRatio() float64 {
 	return float64(s.Misses()) / float64(s.Accesses)
 }
 
+// SmallHits returns hits on the smallest size class.
+//
+// Deprecated: use HitsByClass[0].
+func (s Stats) SmallHits() uint64 { return s.HitsByClass[0] }
+
+// LargeHits returns hits on every class above the smallest.
+//
+// Deprecated: use HitsByClass[k] for the class of interest.
+func (s Stats) LargeHits() uint64 {
+	var n uint64
+	for k := 1; k < len(s.HitsByClass); k++ {
+		n += s.HitsByClass[k]
+	}
+	return n
+}
+
+// SmallMisses returns misses on the smallest size class.
+//
+// Deprecated: use MissesByClass[0].
+func (s Stats) SmallMisses() uint64 { return s.MissesByClass[0] }
+
+// LargeMisses returns misses on every class above the smallest.
+//
+// Deprecated: use MissesByClass[k] for the class of interest.
+func (s Stats) LargeMisses() uint64 {
+	var n uint64
+	for k := 1; k < len(s.MissesByClass); k++ {
+		n += s.MissesByClass[k]
+	}
+	return n
+}
+
 // Counters converts the TLB statistics into the run-report counter
-// block (internal/obs). Called once per pass, off the hot path.
+// block (internal/obs). Classes 0 and 1 keep the legacy small/large
+// keys; classes 2 and 3 use the size<k> keys. Called once per pass,
+// off the hot path.
 func (s Stats) Counters() obs.Counters {
 	return obs.Counters{
 		TLBAccesses:      s.Accesses,
-		TLBHitsSmall:     s.SmallHits,
-		TLBHitsLarge:     s.LargeHits,
-		TLBMissesSmall:   s.SmallMisses,
-		TLBMissesLarge:   s.LargeMisses,
+		TLBHitsSmall:     s.HitsByClass[0],
+		TLBHitsLarge:     s.HitsByClass[1],
+		TLBMissesSmall:   s.MissesByClass[0],
+		TLBMissesLarge:   s.MissesByClass[1],
+		TLBHitsSize2:     s.HitsByClass[2],
+		TLBHitsSize3:     s.HitsByClass[3],
+		TLBMissesSize2:   s.MissesByClass[2],
+		TLBMissesSize3:   s.MissesByClass[3],
 		TLBInvalidations: s.Invalidations,
 	}
 }
 
-// Reprobes returns how many lookups would need a second probe under the
-// sequential-access variant of exact indexing (Section 2.2, option (b)):
-// the TLB is probed with the small page number first, so every large-page
-// hit and every miss costs a second probe.
-func (s Stats) Reprobes() uint64 { return s.LargeHits + s.Misses() }
+// Reprobes returns how many extra probes the sequential-access variant
+// of exact indexing needs (Section 2.2, option (b)): the TLB is probed
+// smallest class first, so a class-k hit costs k extra probes and a
+// miss probes every class. With two classes this is the paper's
+// "every large-page hit and every miss" count.
+func (s Stats) Reprobes() uint64 {
+	n := s.Classes
+	if n < 2 {
+		n = 2
+	}
+	var r uint64
+	for k := 1; k < n && k < len(s.HitsByClass); k++ {
+		r += uint64(k) * s.HitsByClass[k]
+	}
+	return r + uint64(n-1)*s.Misses()
+}
 
 // TLB is the interface shared by all TLB models. Access takes both the
 // full virtual address (set selection may use offset bits below the large
@@ -134,8 +265,8 @@ type TLB interface {
 	// (possibly evicting a victim). Returns true on hit.
 	Access(va addr.VA, p policy.Page) bool
 	// Invalidate removes all copies of the page, returning how many
-	// entries were dropped. Page promotion invalidates the chunk's small
-	// pages; demotion invalidates the large page.
+	// entries were dropped. Page promotion invalidates the region's
+	// smaller pages; demotion invalidates the larger page.
 	Invalidate(p policy.Page) int
 	// Flush empties the TLB (context switch).
 	Flush()
@@ -168,8 +299,15 @@ type Config struct {
 	Index IndexScheme
 	// Repl is the replacement policy within a set. Defaults to LRU.
 	Repl Replacement
-	// SmallShift and LargeShift are the two page shifts the indexing
-	// hardware is wired for. Zero values default to 4KB and 32KB.
+	// Shifts lists the page shifts the indexing hardware is wired for,
+	// strictly ascending, at most addr.MaxSizeClasses of them. Empty
+	// defaults to the deprecated SmallShift/LargeShift pair, and then
+	// to the paper's 4KB/32KB.
+	Shifts []uint
+	// SmallShift and LargeShift are the legacy two-size shift fields.
+	//
+	// Deprecated: set Shifts. These remain as shims for the two-size
+	// constructors; combining them with a non-empty Shifts is an error.
 	SmallShift uint
 	LargeShift uint
 	// Seed seeds the Random replacement generator.
@@ -190,21 +328,40 @@ func (c *Config) normalize() error {
 	if sets&(sets-1) != 0 {
 		return fmt.Errorf("tlb: set count %d is not a power of two", sets)
 	}
-	if c.SmallShift == 0 {
-		c.SmallShift = addr.Shift4K
+	if len(c.Shifts) == 0 {
+		// Legacy two-size spelling: fold the deprecated pair (with the
+		// paper's defaults) into the canonical form.
+		small, large := c.SmallShift, c.LargeShift
+		if small == 0 {
+			small = addr.Shift4K
+		}
+		if large == 0 {
+			large = addr.Shift32K
+		}
+		if small >= large {
+			return fmt.Errorf("tlb: small shift %d must be below large shift %d", small, large)
+		}
+		c.Shifts = []uint{small, large}
+	} else if c.SmallShift != 0 || c.LargeShift != 0 {
+		return fmt.Errorf("tlb: set either Shifts or the deprecated SmallShift/LargeShift pair, not both")
 	}
-	if c.LargeShift == 0 {
-		c.LargeShift = addr.Shift32K
+	classes, err := addr.NewShiftClasses(c.Shifts...)
+	if err != nil {
+		return err
 	}
-	if c.SmallShift >= c.LargeShift {
-		return fmt.Errorf("tlb: small shift %d must be below large shift %d",
-			c.SmallShift, c.LargeShift)
+	if classes.N() < 2 {
+		return fmt.Errorf("tlb: need at least two size classes, got %d", classes.N())
 	}
+	if k, ok := c.Index.Class(); ok && k >= classes.N() {
+		return fmt.Errorf("tlb: index class %d out of range for %d size classes", k, classes.N())
+	}
+	// Canonical form: the hierarchy lives in Shifts only.
+	c.SmallShift, c.LargeShift = 0, 0
 	return nil
 }
 
 // Normalized returns the configuration with defaults applied (Ways,
-// SmallShift, LargeShift), or an error for invalid geometries. Two
+// the Shifts hierarchy), or an error for invalid geometries. Two
 // configurations that normalize identically build identical TLBs, which
 // is what lets the experiment engine use the normalized form as a
 // memoization key.
@@ -215,12 +372,52 @@ func (c Config) Normalized() (Config, error) {
 	return c, nil
 }
 
+// Classes returns the validated size-class hierarchy of a normalized
+// configuration (after Normalized or New).
+func (c Config) Classes() (addr.SizeClasses, error) {
+	n, err := c.Normalized()
+	if err != nil {
+		return addr.SizeClasses{}, err
+	}
+	return addr.NewShiftClasses(n.Shifts...)
+}
+
+// Key returns a canonical fragment identifying the configuration for
+// memoization keys. Two-class configurations keep the historical
+// "s<small>.l<large>" spelling byte-for-byte (run-report pass keys are
+// derived from it); larger hierarchies spell the shifts explicitly.
+func (c Config) Key() (string, error) {
+	cfg, err := c.Normalized()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "e%d.w%d.ix%d.r%d.", cfg.Entries, cfg.Ways, cfg.Index, cfg.Repl)
+	if len(cfg.Shifts) == 2 {
+		fmt.Fprintf(&b, "s%d.l%d", cfg.Shifts[0], cfg.Shifts[1])
+	} else {
+		b.WriteString("sc")
+		for i, s := range cfg.Shifts {
+			if i > 0 {
+				b.WriteByte('-')
+			}
+			fmt.Fprintf(&b, "%d", s)
+		}
+	}
+	fmt.Fprintf(&b, ".seed%d", cfg.Seed)
+	return b.String(), nil
+}
+
 // SetAssoc is a set-associative TLB (fully associative when Ways ==
 // Entries). It implements TLB.
 type SetAssoc struct {
-	cfg      Config
-	sets     int
-	setBits  uint
+	cfg     Config
+	classes addr.SizeClasses
+	sets    int
+	setBits uint
+	// idxShift is the fixed indexing shift, or -1 for exact indexing
+	// (index with the accessed page's own shift).
+	idxShift int
 	entries  []entry // sets × ways
 	clock    uint64
 	rng      uint64
@@ -230,9 +427,13 @@ type SetAssoc struct {
 
 // New constructs a TLB from cfg. It returns an error for invalid
 // geometries (non-power-of-two set counts, entries not divisible by
-// ways, inverted shifts).
+// ways, non-ascending shift lists).
 func New(cfg Config) (*SetAssoc, error) {
 	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	classes, err := addr.NewShiftClasses(cfg.Shifts...)
+	if err != nil {
 		return nil, err
 	}
 	sets := cfg.Entries / cfg.Ways
@@ -240,16 +441,30 @@ func New(cfg Config) (*SetAssoc, error) {
 	for v := sets; v > 1; v >>= 1 {
 		setBits++
 	}
+	idxShift := -1
+	switch {
+	case cfg.Index == IndexSmall:
+		idxShift = int(classes.Shift(0))
+	case cfg.Index == IndexLarge:
+		idxShift = int(classes.TopShift())
+	default:
+		if k, ok := cfg.Index.Class(); ok {
+			idxShift = int(classes.Shift(k))
+		}
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 0x9E3779B97F4A7C15
 	}
 	return &SetAssoc{
-		cfg:     cfg,
-		sets:    sets,
-		setBits: setBits,
-		entries: make([]entry, cfg.Entries),
-		rng:     seed,
+		cfg:      cfg,
+		classes:  classes,
+		sets:     sets,
+		setBits:  setBits,
+		idxShift: idxShift,
+		entries:  make([]entry, cfg.Entries),
+		rng:      seed,
+		stats:    NewStats(classes),
 	}, nil
 }
 
@@ -271,6 +486,9 @@ func NewFullyAssoc(entries int) *SetAssoc {
 
 // Config returns the (normalized) configuration.
 func (t *SetAssoc) Config() Config { return t.cfg }
+
+// Classes returns the size-class hierarchy the TLB is wired for.
+func (t *SetAssoc) Classes() addr.SizeClasses { return t.classes }
 
 // Sets returns the number of sets.
 func (t *SetAssoc) Sets() int { return t.sets }
@@ -295,14 +513,10 @@ func (t *SetAssoc) index(va addr.VA, p policy.Page) uint64 {
 	if t.sets == 1 {
 		return 0
 	}
-	switch t.cfg.Index {
-	case IndexSmall:
-		return addr.Index(va, t.cfg.SmallShift, t.setBits)
-	case IndexLarge:
-		return addr.Index(va, t.cfg.LargeShift, t.setBits)
-	default: // IndexExact
-		return addr.Index(va, uint(p.Shift), t.setBits)
+	if t.idxShift >= 0 {
+		return addr.Index(va, uint(t.idxShift), t.setBits)
 	}
+	return addr.Index(va, uint(p.Shift), t.setBits) // IndexExact
 }
 
 func (t *SetAssoc) xorshift() uint64 {
@@ -319,7 +533,7 @@ func (t *SetAssoc) xorshift() uint64 {
 func (t *SetAssoc) Access(va addr.VA, p policy.Page) bool {
 	t.clock++
 	t.stats.Accesses++
-	large := uint(p.Shift) >= t.cfg.LargeShift
+	k := t.classes.ClassOf(uint(p.Shift))
 	idx := t.index(va, p)
 	base := int(idx) * t.cfg.Ways
 	set := t.entries[base : base+t.cfg.Ways]
@@ -334,19 +548,11 @@ func (t *SetAssoc) Access(va addr.VA, p policy.Page) bool {
 		}
 		if e.pn == p.Number && uint(e.shift) == p.Shift {
 			e.lastUse = t.clock
-			if large {
-				t.stats.LargeHits++
-			} else {
-				t.stats.SmallHits++
-			}
+			t.stats.HitsByClass[k]++
 			return true
 		}
 	}
-	if large {
-		t.stats.LargeMisses++
-	} else {
-		t.stats.SmallMisses++
-	}
+	t.stats.MissesByClass[k]++
 	if victim < 0 {
 		victim = t.pickVictim(set)
 	} else {
@@ -434,7 +640,8 @@ func (t *SetAssoc) Contains(p policy.Page) bool {
 // size, accessed in parallel with different page numbers. Accesses to
 // small pages go to the small TLB, large pages to the large TLB; if the
 // workload's pages are not appropriately distributed, one side sits
-// unused — the disadvantage the paper notes.
+// unused — the disadvantage the paper notes. For more than two size
+// classes see MultiSplit.
 type SplitTLB struct {
 	small, large *SetAssoc
 	largeShift   uint
@@ -456,7 +663,7 @@ func NewSplit(smallCfg, largeCfg Config) (*SplitTLB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("large half: %w", err)
 	}
-	return &SplitTLB{small: s, large: l, largeShift: l.cfg.LargeShift}, nil
+	return &SplitTLB{small: s, large: l, largeShift: l.classes.TopShift()}, nil
 }
 
 // Access implements TLB.
@@ -485,15 +692,9 @@ func (t *SplitTLB) Flush() {
 
 // Stats implements TLB, merging both halves.
 func (t *SplitTLB) Stats() Stats {
-	a, b := t.small.Stats(), t.large.Stats()
-	return Stats{
-		Accesses:      a.Accesses + b.Accesses,
-		SmallHits:     a.SmallHits + b.SmallHits,
-		LargeHits:     a.LargeHits + b.LargeHits,
-		SmallMisses:   a.SmallMisses + b.SmallMisses,
-		LargeMisses:   a.LargeMisses + b.LargeMisses,
-		Invalidations: a.Invalidations + b.Invalidations,
-	}
+	s := t.small.Stats()
+	s.Merge(t.large.Stats())
+	return s
 }
 
 // Entries implements TLB.

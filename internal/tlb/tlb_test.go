@@ -40,8 +40,14 @@ func TestConfigValidation(t *testing.T) {
 		t.Fatalf("sets=%d entries=%d", tl.Sets(), tl.Entries())
 	}
 	c := tl.Config()
-	if c.SmallShift != addr.Shift4K || c.LargeShift != addr.Shift32K {
+	if len(c.Shifts) != 2 || c.Shifts[0] != addr.Shift4K || c.Shifts[1] != addr.Shift32K {
 		t.Fatalf("default shifts not applied: %+v", c)
+	}
+	if c.SmallShift != 0 || c.LargeShift != 0 {
+		t.Fatalf("deprecated shift fields should be cleared after normalize: %+v", c)
+	}
+	if cl := tl.Classes(); cl.N() != 2 || cl.Shift(0) != addr.Shift4K || cl.Shift(1) != addr.Shift32K {
+		t.Fatalf("classes: %v", tl.Classes())
 	}
 }
 
@@ -268,7 +274,7 @@ func TestStatsBreakdownAndReprobes(t *testing.T) {
 	tl.Access(lva, largePage(lva)) // large hit
 	tl.Access(lva, largePage(lva)) // large hit
 	st := tl.Stats()
-	if st.SmallMisses != 1 || st.SmallHits != 1 || st.LargeMisses != 1 || st.LargeHits != 2 {
+	if st.SmallMisses() != 1 || st.SmallHits() != 1 || st.LargeMisses() != 1 || st.LargeHits() != 2 {
 		t.Fatalf("breakdown: %+v", st)
 	}
 	if st.Accesses != 5 || st.Hits()+st.Misses() != st.Accesses {
@@ -309,7 +315,7 @@ func TestSplitTLB(t *testing.T) {
 		t.Fatal("both should hit their half")
 	}
 	st := sp.Stats()
-	if st.Accesses != 4 || st.SmallHits != 1 || st.LargeHits != 1 {
+	if st.Accesses != 4 || st.SmallHits() != 1 || st.LargeHits() != 1 {
 		t.Fatalf("merged stats: %+v", st)
 	}
 	if n := sp.Invalidate(largePage(lva)); n != 1 {

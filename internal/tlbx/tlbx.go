@@ -47,19 +47,23 @@ func NewVictim(mainCfg tlb.Config, bufEntries int) (*Victim, error) {
 	if err != nil {
 		return nil, fmt.Errorf("victim main: %w", err)
 	}
-	buf, err := tlb.New(tlb.Config{Entries: bufEntries, Ways: bufEntries})
+	buf, err := tlb.New(tlb.Config{
+		Entries: bufEntries, Ways: bufEntries,
+		Shifts: main.Classes().Shifts(),
+	})
 	if err != nil {
 		return nil, fmt.Errorf("victim buffer: %w", err)
 	}
-	return &Victim{main: main, buf: buf}, nil
+	return &Victim{main: main, buf: buf,
+		stats: tlb.NewStats(main.Classes())}, nil
 }
 
 // Access implements tlb.TLB.
 func (v *Victim) Access(va addr.VA, p policy.Page) bool {
 	v.stats.Accesses++
-	large := uint(p.Shift) >= addr.ChunkShift
+	k := v.main.Classes().ClassOf(uint(p.Shift))
 	if v.main.Probe(va, p) {
-		v.count(large, true)
+		v.stats.Count(k, true)
 		return true
 	}
 	// Main miss: consult the victim buffer.
@@ -72,21 +76,8 @@ func (v *Victim) Access(va addr.VA, p policy.Page) bool {
 		// The displaced main entry retires into the victim buffer.
 		v.buf.Insert(evicted.Base(), evicted)
 	}
-	v.count(large, bufHit)
+	v.stats.Count(k, bufHit)
 	return bufHit
-}
-
-func (v *Victim) count(large, hit bool) {
-	switch {
-	case large && hit:
-		v.stats.LargeHits++
-	case large:
-		v.stats.LargeMisses++
-	case hit:
-		v.stats.SmallHits++
-	default:
-		v.stats.SmallMisses++
-	}
 }
 
 // Invalidate implements tlb.TLB.
@@ -134,13 +125,12 @@ func NewPrefetch(cfg tlb.Config) (*Prefetch, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prefetch{inner: inner}, nil
+	return &Prefetch{inner: inner, stats: tlb.NewStats(inner.Classes())}, nil
 }
 
 // Access implements tlb.TLB.
 func (p *Prefetch) Access(va addr.VA, pg policy.Page) bool {
 	p.stats.Accesses++
-	large := uint(pg.Shift) >= addr.ChunkShift
 	hit := p.inner.Probe(va, pg)
 	if !hit {
 		p.inner.Insert(va, pg)
@@ -148,16 +138,7 @@ func (p *Prefetch) Access(va addr.VA, pg policy.Page) bool {
 		p.inner.Insert(next.Base(), next)
 		p.Prefetches++
 	}
-	switch {
-	case large && hit:
-		p.stats.LargeHits++
-	case large:
-		p.stats.LargeMisses++
-	case hit:
-		p.stats.SmallHits++
-	default:
-		p.stats.SmallMisses++
-	}
+	p.stats.Count(p.inner.Classes().ClassOf(uint(pg.Shift)), hit)
 	return hit
 }
 
@@ -211,14 +192,13 @@ func NewTwoLevel(l1Cfg, l2Cfg tlb.Config) (*TwoLevel, error) {
 	if err != nil {
 		return nil, fmt.Errorf("L2: %w", err)
 	}
-	return &TwoLevel{l1: l1, l2: l2}, nil
+	return &TwoLevel{l1: l1, l2: l2, stats: tlb.NewStats(l1.Classes())}, nil
 }
 
 // Access implements tlb.TLB. A hit means either level held the
 // translation; only a double miss counts as a (software-visible) miss.
 func (t *TwoLevel) Access(va addr.VA, p policy.Page) bool {
 	t.stats.Accesses++
-	large := uint(p.Shift) >= addr.ChunkShift
 	hit := t.l1.Probe(va, p)
 	if !hit {
 		if t.l2.Probe(va, p) {
@@ -230,16 +210,7 @@ func (t *TwoLevel) Access(va addr.VA, p policy.Page) bool {
 			t.l2.Insert(va, p)
 		}
 	}
-	switch {
-	case large && hit:
-		t.stats.LargeHits++
-	case large:
-		t.stats.LargeMisses++
-	case hit:
-		t.stats.SmallHits++
-	default:
-		t.stats.SmallMisses++
-	}
+	t.stats.Count(t.l1.Classes().ClassOf(uint(p.Shift)), hit)
 	return hit
 }
 

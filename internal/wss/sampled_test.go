@@ -1,0 +1,116 @@
+package wss
+
+import (
+	"testing"
+
+	"twopage/internal/addr"
+	"twopage/internal/policy"
+)
+
+func ladderFor(t *testing.T, shifts ...uint) *policy.Ladder {
+	t.Helper()
+	classes := addr.MustShiftClasses(shifts...)
+	cfg := policy.DefaultLadderConfig(1000, classes)
+	return policy.NewLadder(cfg)
+}
+
+// TestSampledTwoClass checks the instantaneous size against hand
+// accounting on a two-class hierarchy: before promotion, one 4KB block
+// per touched block; after, one 32KB chunk.
+func TestSampledTwoClass(t *testing.T) {
+	pol := ladderFor(t, addr.BlockShift, addr.ChunkShift)
+	s := NewSampled(pol, 4)
+	// Touch three distinct blocks of chunk 0: below the half-or-more
+	// threshold (4 of 8), so all stay small.
+	for i := 0; i < 3; i++ {
+		pol.Assign(addr.VA(i * addr.BlockSize))
+		s.Step()
+	}
+	if got := s.Current(); got != 3*addr.BlockSize {
+		t.Fatalf("pre-promotion size = %d, want %d", got, 3*addr.BlockSize)
+	}
+	// Fourth block promotes the chunk; the working set becomes one 32KB
+	// page.
+	pol.Assign(addr.VA(3 * addr.BlockSize))
+	s.Step()
+	if got := s.Current(); got != addr.ChunkSize {
+		t.Fatalf("post-promotion size = %d, want %d", got, addr.ChunkSize)
+	}
+	if s.Samples() != 1 {
+		t.Fatalf("samples = %d, want 1 (period 4, 4 steps)", s.Samples())
+	}
+	// The single sample saw the post-promotion state.
+	if got := s.Result().AvgBytes; got != float64(addr.ChunkSize) {
+		t.Fatalf("avg = %v, want %v", got, float64(addr.ChunkSize))
+	}
+}
+
+// TestSampledCountsUpperRegionOnce drives a three-class hierarchy until
+// a class-2 region is mapped and checks its size is counted once even
+// though several of its chunks are active.
+func TestSampledCountsUpperRegionOnce(t *testing.T) {
+	pol := ladderFor(t, addr.BlockShift, addr.ChunkShift, addr.Shift256K)
+	s := NewSampled(pol, 0)
+	// 256KB = 8 chunks of 8 blocks. Touch every block of every chunk:
+	// each chunk promotes to class 1, and once half the chunks are
+	// mapped, the class-2 region promotes.
+	for c := 0; c < 8; c++ {
+		for b := 0; b < 8; b++ {
+			pol.Assign(addr.VA(c*addr.ChunkSize + b*addr.BlockSize))
+			s.Step()
+		}
+	}
+	if !pol.MappedAt(2, 0) {
+		t.Fatal("class-2 region 0 should be mapped")
+	}
+	if got := s.Current(); got != uint64(addr.Size256K) {
+		t.Fatalf("size = %d, want one 256KB region = %d", got, uint64(addr.Size256K))
+	}
+	if s.Steps() != 64 {
+		t.Fatalf("steps = %d, want 64", s.Steps())
+	}
+}
+
+// TestSampledMixedClasses pins the dedupe walk with simultaneously
+// active small blocks, a class-1 chunk, and a class-2 region.
+func TestSampledMixedClasses(t *testing.T) {
+	pol := ladderFor(t, addr.BlockShift, addr.ChunkShift, addr.Shift256K)
+	s := NewSampled(pol, 0)
+	step := func(va addr.VA) { pol.Assign(va); s.Step() }
+	// Region 1 (0x40000..0x80000): fill completely -> class 2.
+	for c := 8; c < 16; c++ {
+		for b := 0; b < 8; b++ {
+			step(addr.VA(c*addr.ChunkSize + b*addr.BlockSize))
+		}
+	}
+	// Chunk 0 of region 0: fill -> class 1 (region 0 has only 1 of 8
+	// chunks mapped, stays unpromoted).
+	for b := 0; b < 8; b++ {
+		step(addr.VA(b * addr.BlockSize))
+	}
+	// Two lone blocks in chunk 2 (region 0): stay class 0.
+	step(addr.VA(2 * addr.ChunkSize))
+	step(addr.VA(2*addr.ChunkSize + addr.BlockSize))
+
+	want := uint64(addr.Size256K) + uint64(addr.ChunkSize) + 2*addr.BlockSize
+	if got := s.Current(); got != want {
+		t.Fatalf("size = %d, want %d (256KB + 32KB + 2 blocks)", got, want)
+	}
+}
+
+// TestSampledDefaultPeriod checks the zero-value period and that the
+// average accumulates over samples.
+func TestSampledDefaultPeriod(t *testing.T) {
+	pol := ladderFor(t, addr.BlockShift, addr.ChunkShift)
+	s := NewSampled(pol, 0)
+	for i := 0; i < 2*DefaultSampleEvery; i++ {
+		pol.Assign(0) // one block forever
+		s.Step()
+	}
+	if s.Samples() != 2 {
+		t.Fatalf("samples = %d, want 2", s.Samples())
+	}
+	if got := s.Result().AvgBytes; got != float64(addr.BlockSize) {
+		t.Fatalf("avg = %v, want one block", got)
+	}
+}

@@ -135,6 +135,35 @@ func TestParallelOutputMatchesSequentialOverTraceFile(t *testing.T) {
 	}
 }
 
+// The three-size ladder experiment mixes memoized engine passes with
+// opaque tasks (the sampled working-set and NAPOT runs), so its -j
+// invariance is pinned on its own, not just as part of the full-registry
+// sweep above: a scheduling dependence here would implicate the new
+// N-size machinery specifically.
+func TestLadder3DeterministicAcrossParallelism(t *testing.T) {
+	render := func(parallelism int) string {
+		var sb bytes.Buffer
+		r := experiments.NewRunner(
+			experiments.WithScale(0.01),
+			experiments.WithWorkloads("li", "worm"),
+			experiments.WithOut(&sb),
+			experiments.WithParallelism(parallelism),
+		)
+		if err := r.RunAll(context.Background(), "ladder3", "nindex"); err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return maskTimings.ReplaceAllString(sb.String(), "T")
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("ladder3/nindex output differs between -j 1 and -j 8:\n-- j1 --\n%s\n-- j8 --\n%s", seq, par)
+	}
+	if len(seq) == 0 {
+		t.Fatal("no output produced")
+	}
+}
+
 // Section-split simulation is deterministic in the engine: simulating
 // the same 8 disjoint sections of one mapped trace must render the
 // same per-section miss table whether one worker or eight execute the
