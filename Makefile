@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK = honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK = golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: all build test verify lint paperlint lint-extra deprecation-gate bench bench-trace bench-kernels bench-report golden golden-update paper
+.PHONY: all build test verify lint paperlint lint-extra deprecation-gate bench bench-trace bench-kernels bench-shard bench-report golden golden-update paper
 
 all: build
 
@@ -86,6 +86,14 @@ bench-trace:
 # end-to-end experiment-suite wall time at a fixed scale.
 bench-kernels:
 	$(GO) test -run TestKernelBenchReport -kernelbench -count 1 .
+
+# bench-shard regenerates BENCH_shard.json: sharded-vs-serial wall time
+# per shard count plus the residual miss error after warm-up (DESIGN.md
+# §10). Speedup is capped by the core count; on a one-CPU box the
+# sharded rows are expected to come out slower than serial.
+SHARD_BENCH_REFS ?= 400000
+bench-shard:
+	$(GO) test -run TestShardBenchReport -shardbench -shardbenchrefs $(SHARD_BENCH_REFS) -count 1 .
 
 # bench-report regenerates BENCH_run.json: the full experiment suite's
 # run report (internal/obs schema) at a reduced scale. The counter

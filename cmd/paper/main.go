@@ -92,6 +92,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	workloads := fs.String("workloads", "", "comma-separated program subset (default: experiment's own)")
 	traceF := fs.String("trace", "", "run experiments over a trace file instead of the modelled programs")
 	parallelism := fs.Int("j", runtime.NumCPU(), "max concurrent simulation passes")
+	shards := fs.Int("shards", 1, "split each trace-file pass into this many sections simulated in parallel and merged (1 = exact serial pass; only affects -trace workloads)")
+	warmup := fs.Uint64("warmup", 0, "per-shard warm-up references replayed before measuring (0 = auto from the policy window; needs -shards > 1)")
 	progress := fs.Bool("progress", false, "report each completed simulation pass on stderr")
 	statsF := fs.String("stats", "", "write a JSON run report to this file (\"-\" = stderr)")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -167,6 +169,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		experiments.WithCSV(*csv),
 		experiments.WithJSON(*jsonOut),
 		experiments.WithParallelism(*parallelism),
+		experiments.WithShards(*shards, *warmup),
 	}
 	if len(names) > 0 {
 		eopts = append(eopts, experiments.WithWorkloads(names...))

@@ -26,6 +26,7 @@ import (
 
 	"twopage/internal/addr"
 	"twopage/internal/core"
+	"twopage/internal/engine"
 	"twopage/internal/obs"
 	"twopage/internal/policy"
 	"twopage/internal/profiling"
@@ -63,6 +64,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		window   = fs.Int("T", 0, "two-page policy window in refs (0 = refs/8)")
 		thresh   = fs.Int("threshold", 4, "two-page promotion threshold (blocks of 8)")
 		wss      = fs.Bool("wss", false, "also report the two-page working-set size")
+		pt       = fs.Bool("pt", false, "model a software page table: charge modelled walk cycles on first-TLB misses (needs -two or -ladder)")
+		shards   = fs.Int("shards", 1, "split a v2 trace into this many sections simulated in parallel and merged (1 = exact serial pass; needs -trace)")
+		warmup   = fs.Uint64("warmup", 0, "per-shard warm-up references replayed before measuring (0 = auto from the policy window; needs -shards > 1)")
 		list     = fs.Bool("listworkloads", false, "list synthetic workloads and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -120,8 +124,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if classes.N() > 0 {
 		tlbCfg.Shifts = classes.Shifts()
 	}
-	t, err := tlb.New(tlbCfg)
-	if err != nil {
+	if _, err := tlb.New(tlbCfg); err != nil {
 		fmt.Fprintf(stderr, "tlbsim: %v\n", err)
 		return 1
 	}
@@ -174,8 +177,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return 1
 	}
 
-	var pol policy.Assigner
-	var opts []core.Option
+	// newPolicy builds a fresh policy per simulator: sharded runs give
+	// every section its own instance, so construction must be repeatable.
+	var newPolicy func() policy.Assigner
+	polT := 0 // policy window, for the auto warm-up length
 	switch {
 	case *ladder:
 		if classes.N() < 2 {
@@ -190,27 +195,47 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			fmt.Fprintln(stderr, "tlbsim: -wss supports only the two-size policy")
 			return 1
 		}
-		T := *window
-		if T == 0 {
-			T = int(nRefs / 8)
+		polT = *window
+		if polT == 0 {
+			polT = int(nRefs / 8)
 		}
-		pol = policy.NewLadder(policy.DefaultLadderConfig(T, classes))
+		cfg := policy.DefaultLadderConfig(polT, classes)
+		newPolicy = func() policy.Assigner { return policy.NewLadder(cfg) }
 	case *two:
-		T := *window
-		if T == 0 {
-			T = int(nRefs / 8)
+		polT = *window
+		if polT == 0 {
+			polT = int(nRefs / 8)
 		}
-		cfg := policy.TwoSizeConfig{T: T, Threshold: *thresh, Demote: true, LargeShift: addr.Shift32K}
-		pol = policy.NewTwoSize(cfg)
-		if *wss {
-			opts = append(opts, core.WithWSS())
-		}
+		cfg := policy.TwoSizeConfig{T: polT, Threshold: *thresh, Demote: true, LargeShift: addr.Shift32K}
+		newPolicy = func() policy.Assigner { return policy.NewTwoSize(cfg) }
 	default:
 		if *wss {
 			fmt.Fprintln(stderr, "tlbsim: -wss requires -two (use wsssim for single sizes)")
 			return 1
 		}
-		pol = policy.NewSingle(addr.MustPow2(addr.PageSize(*pageSize)))
+		newPolicy = func() policy.Assigner {
+			return policy.NewSingle(addr.MustPow2(addr.PageSize(*pageSize)))
+		}
+	}
+	if *pt && !*two && !*ladder {
+		fmt.Fprintln(stderr, "tlbsim: -pt needs a multi-size policy (-two or -ladder)")
+		return 1
+	}
+
+	build := func() (*core.Simulator, error) {
+		t, err := tlb.New(tlbCfg)
+		if err != nil {
+			return nil, err
+		}
+		pol := newPolicy()
+		var opts []core.Option
+		if *wss && *two {
+			opts = append(opts, core.WithWSS())
+		}
+		if *pt {
+			opts = append(opts, core.WithPageTable())
+		}
+		return core.NewSimulator(pol, []tlb.TLB{t}, opts...), nil
 	}
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
@@ -228,8 +253,25 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}()
 
 	start := time.Now()
-	sim := core.NewSimulator(pol, []tlb.TLB{t}, opts...)
-	res, err := sim.Run(ctx, src)
+	var res *core.Result
+	if *shards > 1 {
+		mr, ok := src.(*trace.MapReader)
+		if !ok {
+			fmt.Fprintln(stderr, "tlbsim: -shards needs a v2 -trace file (sections require random access)")
+			return 1
+		}
+		plan := engine.ShardPlan{Shards: *shards, Warmup: *warmup}
+		if plan.Warmup == 0 {
+			plan.Warmup = engine.AutoWarmup(polT)
+		}
+		eng := engine.New(*shards)
+		res, err = engine.RunSharded(eng, ctx, mr.File(), *refs, plan, "tlbsim", build)
+	} else {
+		var sim *core.Simulator
+		if sim, err = build(); err == nil {
+			res, err = sim.Run(ctx, src)
+		}
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
 			fmt.Fprintln(stderr, "tlbsim: interrupted")
@@ -255,6 +297,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fmt.Fprintf(stdout, "MPI:         %.6f\n", tr.MPI)
 	fmt.Fprintf(stdout, "CPI_TLB:     %.4f  (penalty %.0f cycles)\n", tr.CPITLB, tr.MissPenalty)
 	fmt.Fprintf(stdout, "reprobes:    %d (sequential exact-index cost model)\n", tr.Stats.Reprobes())
+	if res.PageTable != nil {
+		fmt.Fprintf(stdout, "pt walks:    %d (faults %d, %.0f walk cycles)\n",
+			res.PageTable.Lookups, res.PageTable.Misses, res.PTWalkCycles)
+	}
 	if res.PolicyStats != nil {
 		ps := res.PolicyStats
 		fmt.Fprintf(stdout, "promotions:  %d (demotions %d, large chunks now %d)\n",

@@ -24,6 +24,7 @@ import (
 
 	"twopage/internal/addr"
 	"twopage/internal/core"
+	"twopage/internal/engine"
 	"twopage/internal/metrics"
 	"twopage/internal/obs"
 	"twopage/internal/policy"
@@ -51,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		window  = fs.Uint64("T", 0, "working-set window in references (0 = refs/8)")
 		sizes   = fs.String("sizes", "4096,8192,16384,32768,65536", "comma-separated page sizes in bytes")
 		two     = fs.Bool("two", true, "also compute the dynamic 4KB/32KB scheme")
+		shards  = fs.Int("shards", 1, "compute the static pass over this many v2-trace sections in parallel; the merge is exact, so any value gives the serial result (needs -trace)")
 		statsF  = fs.String("stats", "", "write a JSON run report to this file (\"-\" = stderr)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -157,9 +159,23 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	var passes []obs.Pass
 	start := time.Now()
 
-	var staticRefs uint64
-	staticSrc := trace.NewTee(first, func(batch []trace.Ref) { staticRefs += uint64(len(batch)) })
-	results, err := core.MeasureStaticWSS(ctx, staticSrc, T, pageSizes...)
+	var results []wss.Result
+	var c obs.Counters
+	if *shards > 1 {
+		if mapped == nil {
+			fmt.Fprintln(stderr, "wsssim: -shards needs a v2 -trace file (sections require random access)")
+			return 1
+		}
+		results, c, err = staticSharded(ctx, mapped, *shards, T, pageSizes)
+	} else {
+		var staticRefs uint64
+		staticSrc := trace.NewTee(first, func(batch []trace.Ref) { staticRefs += uint64(len(batch)) })
+		results, err = core.MeasureStaticWSS(ctx, staticSrc, T, pageSizes...)
+		if err == nil {
+			c = core.DecodeCounters(staticSrc)
+			c.Refs = staticRefs
+		}
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
 			fmt.Fprintln(stderr, "wsssim: interrupted")
@@ -168,9 +184,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintf(stderr, "wsssim: %v\n", err)
 		return 1
 	}
-	c := core.DecodeCounters(staticSrc)
 	c.Passes = 1
-	c.Refs = staticRefs
 	c.WSSPages = results[0].Pages
 	passes = append(passes, obs.Pass{Key: fmt.Sprintf("wss-static w=%s T=%d", srcName, T), Counters: c})
 	totals.Add(c)
@@ -224,4 +238,50 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 	}
 	return 0
+}
+
+// staticSharded computes the static working-set pass over n disjoint
+// sections of a v2 trace in parallel. The Slutz–Traiger accumulation
+// decomposes exactly across a partition of the stream (wss.MergeStatic),
+// so the result is byte-identical to the serial pass for any n.
+func staticSharded(ctx context.Context, f *trace.File, n int, T uint64, sizes []addr.PageSize) ([]wss.Result, obs.Counters, error) {
+	if b := f.Blocks(); n > b {
+		n = b
+	}
+	if n < 1 {
+		n = 1
+	}
+	shifts := make([]uint, len(sizes))
+	for i, s := range sizes {
+		shifts[i] = s.Shift()
+	}
+	type part struct {
+		calc *wss.StaticShard
+		dec  trace.DecodeStats
+	}
+	eng := engine.New(n)
+	parts, err := engine.MapSections(eng, ctx, f, n, "wss-static", func(ctx context.Context, r *trace.MapReader, section int) (part, error) {
+		calc := wss.NewStaticShard(T, f.SectionStart(section, n), shifts...)
+		if _, err := trace.DrainContext(ctx, r, func(batch []trace.Ref) {
+			for _, ref := range batch {
+				calc.Step(ref.Addr)
+			}
+		}); err != nil {
+			return part{}, err
+		}
+		return part{calc: calc, dec: r.DecodeStats()}, nil
+	}).Wait(ctx)
+	if err != nil {
+		return nil, obs.Counters{}, err
+	}
+	calcs := make([]*wss.StaticShard, len(parts))
+	var c obs.Counters
+	for i, p := range parts {
+		calcs[i] = p.calc
+		c.Refs += p.calc.Steps()
+		c.DecodedRefs += p.dec.Refs
+		c.DecodedBlocks += p.dec.Blocks
+		c.DecodedBytes += p.dec.Bytes
+	}
+	return wss.MergeStatic(calcs), c, nil
 }

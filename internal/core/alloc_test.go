@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"twopage/internal/addr"
+	"twopage/internal/kernelref"
+	"twopage/internal/policy"
+	"twopage/internal/tlb"
+)
+
+// TestPTStepAllocs pins the page-table-shadow step — the per-reference
+// hot path of a WithPageTable run — at zero steady-state allocations:
+// TLB probes, the walk on a miss, and the demand-map bookkeeping must
+// all be allocation-free once the tables have grown to the footprint.
+// The policy is promote-only so the steady-state stream carries no
+// transition events (those go through applyEvent, which may legally
+// allocate when the NTable restructures).
+func TestPTStepAllocs(t *testing.T) {
+	pol := policy.NewTwoSize(policy.TwoSizeConfig{
+		T: 1 << 12, Threshold: 4, Demote: false, LargeShift: addr.Shift32K,
+	})
+	sim := NewSimulator(pol,
+		[]tlb.TLB{tlb.MustNew(tlb.Config{Entries: 32, Ways: 2, Index: tlb.IndexExact})},
+		WithPageTable())
+	stream := kernelref.VAStream(1 << 15)
+	step := func(va addr.VA) {
+		res := pol.Assign(va)
+		if res.Event != policy.EventNone {
+			sim.applyEvent(res)
+		}
+		sim.ptStep(va, res)
+	}
+	for _, va := range stream {
+		step(va)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(5000, func() {
+		step(stream[i&(1<<15-1)])
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("Assign+ptStep allocates %.2f times per reference, want 0", avg)
+	}
+}
+
+// TestMergeResultsGrouping pins the merge itself: merging merged parts
+// is associative-enough for the battery — two halves merged then
+// combined equal one flat merge. Guards the carry/gauge handling
+// against ordering mistakes that the end-to-end tests could mask.
+func TestMergeResultsGrouping(t *testing.T) {
+	mk := func(refs, miss uint64) *Result {
+		r := &Result{Refs: refs, Instrs: refs / 2}
+		st := tlb.Stats{Accesses: refs, Classes: 2}
+		st.MissesByClass[0] = miss
+		st.HitsByClass[0] = refs - miss
+		r.TLBs = []TLBResult{{Name: "t", Stats: st, MissPenalty: 25}}
+		return r
+	}
+	parts := []*Result{mk(100, 10), mk(200, 30), mk(300, 60), mk(400, 100)}
+	flat := MergeResults(parts)
+	left := MergeResults(parts[:2])
+	right := MergeResults(parts[2:])
+	grouped := MergeResults([]*Result{left, right})
+	if flat.TLBs[0].Stats != grouped.TLBs[0].Stats || flat.Refs != grouped.Refs ||
+		flat.TLBs[0].MPI != grouped.TLBs[0].MPI {
+		t.Errorf("grouped merge differs from flat merge:\n flat %+v\n grouped %+v", flat, grouped)
+	}
+}

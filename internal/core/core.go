@@ -25,6 +25,7 @@ import (
 	"twopage/internal/addr"
 	"twopage/internal/metrics"
 	"twopage/internal/obs"
+	"twopage/internal/pagetable"
 	"twopage/internal/policy"
 	"twopage/internal/tlb"
 	"twopage/internal/trace"
@@ -58,6 +59,13 @@ type Result struct {
 	// policies (nil for two-size and single-size runs).
 	LadderStats *policy.LadderStats
 
+	// PageTable holds the page-table shadow's counters, set only when
+	// the simulator was built with WithPageTable.
+	PageTable *pagetable.Stats
+	// PTWalkCycles is the total modelled cost of the shadow's software
+	// walks (zero without WithPageTable).
+	PTWalkCycles float64
+
 	// Counters is the pass's run-report block (internal/obs): the TLB
 	// split, policy transitions, and any trace-decode work, assembled
 	// once after the drain loop completes.
@@ -71,6 +79,17 @@ type Simulator struct {
 	missPenalty float64
 	wssCalc     *wss.TwoSize
 	classes     addr.SizeClasses // hierarchy of a MultiSize policy (zero for single-size)
+	pt          *ptShadow        // page-table shadow (WithPageTable)
+
+	// Warm-up baselines (see Warm): counter snapshots taken at the end
+	// of the warm-up preroll, subtracted out of Run's results so only
+	// the section's own activity is reported.
+	warmed     bool
+	warmTLB    []tlb.Stats
+	warmLadder *policy.LadderStats
+	warmTwo    *policy.TwoSizeStats
+	warmPT     pagetable.Stats
+	warmPTCyc  float64
 }
 
 // Option configures a Simulator.
@@ -97,6 +116,27 @@ func WithWSS() Option {
 	}
 }
 
+// WithPageTable attaches a software page-table shadow: every miss of
+// the first TLB walks an NTable kept consistent with the policy's
+// promotion/demotion decisions (demand-mapping unmapped pages from a
+// deterministic bump frame allocator), charging the pagetable package's
+// handler cost model per walk. Requires a MultiSize policy and at least
+// one TLB; NewSimulator panics otherwise. Results gain PageTable stats
+// and PTWalkCycles; the shadow's tables are plain shard-local state, so
+// sharded runs merge it like every other counter block.
+func WithPageTable() Option {
+	return func(s *Simulator) {
+		mp, ok := s.pol.(policy.MultiSize)
+		if !ok {
+			panic("core: WithPageTable requires a MultiSize policy")
+		}
+		if len(s.tlbs) == 0 {
+			panic("core: WithPageTable requires at least one TLB")
+		}
+		s.pt = newPTShadow(mp.SizeClasses())
+	}
+}
+
 // NewSimulator builds a simulator for the policy and TLBs. The TLBs are
 // all driven by the same policy decisions in a single pass.
 func NewSimulator(pol policy.Assigner, tlbs []tlb.TLB, opts ...Option) *Simulator {
@@ -111,6 +151,66 @@ func NewSimulator(pol policy.Assigner, tlbs []tlb.TLB, opts ...Option) *Simulato
 		o(s)
 	}
 	return s
+}
+
+// Warm replays a reference stream to build simulator state — TLB
+// contents, policy window and mapped regions, page-table shadow, the
+// two-page WSS calculator's incremental split — without contributing to
+// the metrics Run will report. At the end of the stream every counter
+// is snapshotted; Run subtracts the snapshots, so the reported counts
+// cover exactly the post-warm-up references (integer subtraction,
+// exact). Shard workers call Warm with a Preroll reader before running
+// their section; the warm-up stream must immediately precede Run's.
+//
+// Warm may be called once, before Run. The working-set averages are
+// untouched by design: WSS samples start at the first Run reference.
+func (s *Simulator) Warm(ctx context.Context, r trace.Reader) error {
+	if s.warmed {
+		return fmt.Errorf("core: Warm called twice")
+	}
+	//paperlint:hot
+	_, err := trace.DrainContext(ctx, r, func(batch []trace.Ref) {
+		for _, ref := range batch {
+			res := s.pol.Assign(ref.Addr)
+			if res.Event != policy.EventNone {
+				s.applyEvent(res)
+			}
+			if s.pt != nil {
+				s.ptStep(ref.Addr, res)
+			} else {
+				for _, t := range s.tlbs {
+					t.Access(ref.Addr, res.Page)
+				}
+			}
+			if s.wssCalc != nil {
+				s.wssCalc.ObserveWarm(res)
+			}
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("core: warm-up failed: %w", err)
+	}
+	s.warmed = true
+	s.warmTLB = make([]tlb.Stats, len(s.tlbs))
+	for i, t := range s.tlbs {
+		s.warmTLB[i] = t.Stats()
+	}
+	switch pol := s.pol.(type) {
+	case *policy.TwoSize:
+		st := pol.Stats()
+		s.warmTwo = &st
+	case *policy.Ladder:
+		st := pol.Stats()
+		s.warmLadder = &st
+	case *policy.Napot:
+		st := pol.Stats()
+		s.warmLadder = &st
+	}
+	if s.pt != nil {
+		s.warmPT = s.pt.nt.Stats()
+		s.warmPTCyc = s.pt.cycles
+	}
+	return nil
 }
 
 // Run consumes the reference stream to completion and returns metrics.
@@ -131,8 +231,12 @@ func (s *Simulator) Run(ctx context.Context, r trace.Reader) (*Result, error) {
 			if res.Event != policy.EventNone {
 				s.applyEvent(res)
 			}
-			for _, t := range s.tlbs {
-				t.Access(ref.Addr, res.Page)
+			if s.pt != nil {
+				s.ptStep(ref.Addr, res)
+			} else {
+				for _, t := range s.tlbs {
+					t.Access(ref.Addr, res.Page)
+				}
 			}
 			if s.wssCalc != nil {
 				s.wssCalc.Observe(res)
@@ -150,8 +254,11 @@ func (s *Simulator) Run(ctx context.Context, r trace.Reader) (*Result, error) {
 	if instrs > 0 {
 		out.RPI = float64(refs) / float64(instrs)
 	}
-	for _, t := range s.tlbs {
+	for i, t := range s.tlbs {
 		st := t.Stats()
+		if s.warmed {
+			st.Sub(s.warmTLB[i])
+		}
 		mpi := metrics.MPI(st.Misses(), instrs)
 		out.TLBs = append(out.TLBs, TLBResult{
 			Name:        t.Name(),
@@ -169,17 +276,36 @@ func (s *Simulator) Run(ctx context.Context, r trace.Reader) (*Result, error) {
 	switch pol := s.pol.(type) {
 	case *policy.TwoSize:
 		st := pol.Stats()
+		if s.warmTwo != nil {
+			st.Sub(*s.warmTwo)
+		}
 		out.PolicyStats = &st
 	case *policy.Ladder:
 		st := pol.Stats()
+		if s.warmLadder != nil {
+			st.Sub(*s.warmLadder)
+		}
 		out.LadderStats = &st
 	case *policy.Napot:
 		st := pol.Stats()
+		if s.warmLadder != nil {
+			st.Sub(*s.warmLadder)
+		}
 		out.LadderStats = &st
 	}
+	if s.pt != nil {
+		st := s.pt.nt.Stats()
+		cyc := s.pt.cycles
+		if s.warmed {
+			st.Sub(s.warmPT)
+			cyc -= s.warmPTCyc
+		}
+		out.PageTable = &st
+		out.PTWalkCycles = cyc
+	}
 	out.Counters = obs.Counters{Passes: 1, Refs: refs, Instrs: instrs}
-	for _, t := range s.tlbs {
-		out.Counters.Add(t.Stats().Counters())
+	for _, tr := range out.TLBs {
+		out.Counters.Add(tr.Stats.Counters())
 	}
 	if out.PolicyStats != nil {
 		out.Counters.Promotions = out.PolicyStats.Promotions
@@ -192,6 +318,11 @@ func (s *Simulator) Run(ctx context.Context, r trace.Reader) (*Result, error) {
 		out.Counters.PromotionsSize3 = ls.Promotions[3]
 		out.Counters.DemotionsSize2 = ls.Demotions[2]
 		out.Counters.DemotionsSize3 = ls.Demotions[3]
+	}
+	if pt := out.PageTable; pt != nil {
+		out.Counters.PTWalks = pt.Lookups
+		out.Counters.Faults = pt.Misses
+		out.Counters.CopiedBytes = pt.CopiedBytes
 	}
 	out.Counters.Add(DecodeCounters(r))
 	return out, nil
@@ -222,6 +353,9 @@ func (s *Simulator) applyEvent(res policy.Result) {
 	level := res.Level
 	if level <= 0 {
 		level = 1
+	}
+	if s.pt != nil {
+		s.pt.apply(level, res)
 	}
 	switch res.Event {
 	case policy.EventPromote:

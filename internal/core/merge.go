@@ -1,0 +1,181 @@
+package core
+
+import (
+	"twopage/internal/metrics"
+	"twopage/internal/obs"
+	"twopage/internal/policy"
+)
+
+// MergeResults folds per-shard simulation results, given in section
+// order, into the Result a single pass over the concatenated stream
+// would report. Flow counters (references, hits, misses, transitions,
+// walks) sum exactly; derived ratios (MPI, CPI_TLB, miss ratio, RPI)
+// are recomputed from the merged counters; working-set averages are
+// re-weighted by each shard's sample count; gauges (mapped regions,
+// large-chunk counts) take the last non-empty shard's value, since they
+// describe end-of-stream state rather than accumulated flow.
+//
+// A single part is returned verbatim — no recomputation — so a
+// one-shard run is byte-identical to the serial pass, floats included.
+// Nil parts (shards that produced nothing) are skipped.
+func MergeResults(parts []*Result) *Result {
+	live := parts[:0:0]
+	for _, p := range parts {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if len(live) == 1 {
+		return live[0]
+	}
+	// tail is the last shard that saw references; its gauges describe
+	// the end-of-stream state the serial pass would have reported.
+	tail := live[len(live)-1]
+	for i := len(live) - 1; i >= 0; i-- {
+		if live[i].Refs > 0 {
+			tail = live[i]
+			break
+		}
+	}
+
+	out := &Result{Policy: live[0].Policy}
+	for _, p := range live {
+		out.Refs += p.Refs
+		out.Instrs += p.Instrs
+	}
+	if out.Instrs > 0 {
+		out.RPI = float64(out.Refs) / float64(out.Instrs)
+	}
+
+	for i, tr := range live[0].TLBs {
+		st := tr.Stats
+		for _, p := range live[1:] {
+			st.Merge(p.TLBs[i].Stats)
+		}
+		mpi := metrics.MPI(st.Misses(), out.Instrs)
+		out.TLBs = append(out.TLBs, TLBResult{
+			Name:        tr.Name,
+			Stats:       st,
+			MissPenalty: tr.MissPenalty,
+			MPI:         mpi,
+			CPITLB:      mpi * tr.MissPenalty,
+			MissRatio:   st.MissRatio(),
+		})
+	}
+
+	if live[0].WSS != nil {
+		merged := *live[0].WSS
+		merged.AvgBytes = 0
+		merged.Samples = 0
+		merged.Pages = 0
+		var acc float64
+		for _, p := range live {
+			if p.WSS == nil {
+				continue
+			}
+			acc += p.WSS.AvgBytes * float64(p.WSS.Samples)
+			merged.Samples += p.WSS.Samples
+			merged.Pages += p.WSS.Pages
+		}
+		if merged.Samples > 0 {
+			merged.AvgBytes = acc / float64(merged.Samples)
+		}
+		out.WSS = &merged
+	}
+
+	if live[0].PolicyStats != nil {
+		st := *live[0].PolicyStats
+		for _, p := range live[1:] {
+			if p.PolicyStats != nil {
+				st.Merge(*p.PolicyStats)
+			}
+		}
+		if tail.PolicyStats != nil {
+			st.LargeChunks = tail.PolicyStats.LargeChunks
+		}
+		out.PolicyStats = &st
+	}
+	if live[0].LadderStats != nil {
+		st := *live[0].LadderStats
+		for _, p := range live[1:] {
+			if p.LadderStats != nil {
+				st.Merge(*p.LadderStats)
+			}
+		}
+		if tail.LadderStats != nil {
+			st.Mapped = tail.LadderStats.Mapped
+		}
+		out.LadderStats = &st
+	}
+	if live[0].PageTable != nil {
+		st := *live[0].PageTable
+		for _, p := range live[1:] {
+			if p.PageTable != nil {
+				st.Add(*p.PageTable)
+			}
+			out.PTWalkCycles += p.PTWalkCycles
+		}
+		out.PTWalkCycles += live[0].PTWalkCycles
+		out.PageTable = &st
+	}
+
+	// Rebuild the run-report block from the merged stats — the same
+	// assembly Run performs — rather than summing the parts' blocks, so
+	// the merged report is structurally identical to a serial pass (one
+	// logical pass, gauges not multiply counted). Decode work is the one
+	// genuinely per-shard quantity, so it sums from the parts.
+	out.Counters = obs.Counters{Passes: 1, Refs: out.Refs, Instrs: out.Instrs}
+	for _, tr := range out.TLBs {
+		out.Counters.Add(tr.Stats.Counters())
+	}
+	if out.PolicyStats != nil {
+		out.Counters.Promotions = out.PolicyStats.Promotions
+		out.Counters.Demotions = out.PolicyStats.Demotions
+	}
+	if ls := out.LadderStats; ls != nil {
+		out.Counters.Promotions = ls.Promotions[1]
+		out.Counters.Demotions = ls.Demotions[1]
+		out.Counters.PromotionsSize2 = ls.Promotions[2]
+		out.Counters.PromotionsSize3 = ls.Promotions[3]
+		out.Counters.DemotionsSize2 = ls.Demotions[2]
+		out.Counters.DemotionsSize3 = ls.Demotions[3]
+	}
+	if pt := out.PageTable; pt != nil {
+		out.Counters.PTWalks = pt.Lookups
+		out.Counters.Faults = pt.Misses
+		out.Counters.CopiedBytes = pt.CopiedBytes
+	}
+	for _, p := range live {
+		out.Counters.DecodedRefs += p.Counters.DecodedRefs
+		out.Counters.DecodedBlocks += p.Counters.DecodedBlocks
+		out.Counters.DecodedBytes += p.Counters.DecodedBytes
+	}
+	return out
+}
+
+// MergeWSSResults folds per-shard two-size working-set results into the
+// sample-weighted global average. Static working sets merge exactly via
+// wss.MergeStatic instead; this weighted form is for the dynamic scheme,
+// whose window state cannot be decomposed exactly across shards.
+func MergeWSSResults(parts []policy.TwoSizeStats) policy.TwoSizeStats {
+	var out policy.TwoSizeStats
+	for i, p := range parts {
+		if i == 0 {
+			out = p
+			continue
+		}
+		out.Merge(p)
+	}
+	if n := len(parts); n > 0 {
+		for i := n - 1; i >= 0; i-- {
+			if parts[i].Refs > 0 {
+				out.LargeChunks = parts[i].LargeChunks
+				break
+			}
+		}
+	}
+	return out
+}

@@ -63,6 +63,7 @@ type Engine struct {
 	parallelism int
 	observer    Observer
 	collector   *obs.Collector
+	shard       ShardPlan
 
 	mu     sync.Mutex
 	passes map[string]*Future[any]

@@ -131,13 +131,10 @@ func (u Unit) Key() (string, error) {
 	return b.String(), nil
 }
 
-// run executes the unit. The returned Result has exactly one TLBResult
-// when u.TLB is set, none otherwise.
-func (u Unit) run(ctx context.Context) (*core.Result, error) {
-	s, err := workload.Get(u.Workload)
-	if err != nil {
-		return nil, err
-	}
+// newSimulator builds a fresh simulator for the unit: its own policy
+// and TLB instances, so shard workers running the same unit in parallel
+// share nothing.
+func (u Unit) newSimulator() (*core.Simulator, error) {
 	pol, err := u.Policy.New()
 	if err != nil {
 		return nil, err
@@ -154,7 +151,20 @@ func (u Unit) run(ctx context.Context) (*core.Result, error) {
 	if u.WSS {
 		opts = append(opts, core.WithWSS())
 	}
-	sim := core.NewSimulator(pol, tlbs, opts...)
+	return core.NewSimulator(pol, tlbs, opts...), nil
+}
+
+// run executes the unit. The returned Result has exactly one TLBResult
+// when u.TLB is set, none otherwise.
+func (u Unit) run(ctx context.Context) (*core.Result, error) {
+	s, err := workload.Get(u.Workload)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := u.newSimulator()
+	if err != nil {
+		return nil, err
+	}
 	return sim.Run(ctx, s.New(u.Refs))
 }
 
@@ -206,6 +216,20 @@ func (e *Engine) Pass(ctx context.Context, spec PassSpec) *Future[*core.Result] 
 		key, err := u.Key()
 		if err != nil {
 			futs[i] = resolved[*core.Result](nil, err)
+			continue
+		}
+		if f, plan, ok := e.shardFor(u.Workload, u.Policy); ok {
+			// Sharded results are approximations of the serial pass;
+			// the plan is part of the key so they never alias serial
+			// (or differently-sharded) results in the memo cache.
+			key := fmt.Sprintf("%s shards=%d warm=%d", key, plan.Shards, plan.Warmup)
+			futs[i] = keyedOffPool(e, ctx, key, func(ctx context.Context) (*core.Result, error) {
+				res, err := u.runSharded(e, ctx, f, plan, key)
+				if err == nil {
+					e.Record(key, res.Counters)
+				}
+				return res, err
+			})
 			continue
 		}
 		futs[i] = keyed(e, ctx, key, func(ctx context.Context) (*core.Result, error) {
@@ -283,6 +307,14 @@ type StaticWSSUnit struct {
 // indexed as StaticShifts. Results are shared; treat as read-only.
 func (e *Engine) StaticWSS(ctx context.Context, u StaticWSSUnit) *Future[[]wss.Result] {
 	key := fmt.Sprintf("wss-static w=%s refs=%d T=%d", u.Workload, u.Refs, u.T)
+	if f, plan, ok := e.shardFor(u.Workload, PolicySpec{}); ok {
+		// The static working-set merge is exact (wss.MergeStatic), so
+		// the sharded pass shares the serial unit's key: either path
+		// may satisfy a memo hit for the other, bit for bit.
+		return keyedOffPool(e, ctx, key, func(ctx context.Context) ([]wss.Result, error) {
+			return e.staticWSSSharded(ctx, f, u, plan.Shards, key)
+		})
+	}
 	return keyed(e, ctx, key, func(ctx context.Context) ([]wss.Result, error) {
 		s, err := workload.Get(u.Workload)
 		if err != nil {

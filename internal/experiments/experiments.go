@@ -67,6 +67,14 @@ type Options struct {
 	// counters (internal/obs). Ignored when Engine is set (attach the
 	// collector to the engine instead).
 	Collector *obs.Collector
+	// Shards splits each file-backed workload's trace into this many
+	// sections simulated in parallel and merged (engine.WithSharding);
+	// <= 1 keeps the serial, golden-pinned pass. Generated workloads
+	// always run serial. Ignored when Engine is set.
+	Shards int
+	// Warmup is the per-shard warm-up length in references; 0 selects
+	// engine.AutoWarmup of the policy window. Ignored unless Shards > 1.
+	Warmup uint64
 }
 
 // Opt mutates an Options (the functional-options constructor form).
@@ -104,6 +112,13 @@ func WithEngine(e *engine.Engine) Opt { return func(o *Options) { o.Engine = e }
 // normalize builds (a no-op when WithEngine supplies one).
 func WithCollector(c *obs.Collector) Opt { return func(o *Options) { o.Collector = c } }
 
+// WithShards splits file-backed traces into n sections simulated in
+// parallel and merged; n <= 1 keeps the serial pass. warmup is the
+// per-shard warm-up length (0 = auto from the policy window).
+func WithShards(n int, warmup uint64) Opt {
+	return func(o *Options) { o.Shards, o.Warmup = n, warmup }
+}
+
 // NewOptions builds a normalized Options from functional options.
 func NewOptions(opts ...Opt) *Options {
 	o := &Options{}
@@ -131,6 +146,9 @@ func (o *Options) normalize() {
 		}
 		if o.Collector != nil {
 			eopts = append(eopts, engine.WithCollector(o.Collector))
+		}
+		if o.Shards > 1 {
+			eopts = append(eopts, engine.WithSharding(engine.ShardPlan{Shards: o.Shards, Warmup: o.Warmup}))
 		}
 		o.Engine = engine.New(o.Parallelism, eopts...)
 	}

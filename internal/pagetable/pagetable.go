@@ -73,6 +73,26 @@ type Stats struct {
 	CopiedBytes uint64 // bytes copied by promotions/demotions
 }
 
+// Add folds another table's counters into s (shard merge). All fields
+// are flow counters, so the sum is exact.
+func (s *Stats) Add(o Stats) {
+	s.Lookups += o.Lookups
+	s.Misses += o.Misses
+	s.Promotions += o.Promotions
+	s.Demotions += o.Demotions
+	s.CopiedBytes += o.CopiedBytes
+}
+
+// Sub removes a previously recorded baseline from s, leaving the
+// activity after the snapshot (warm-up roll-back).
+func (s *Stats) Sub(o Stats) {
+	s.Lookups -= o.Lookups
+	s.Misses -= o.Misses
+	s.Promotions -= o.Promotions
+	s.Demotions -= o.Demotions
+	s.CopiedBytes -= o.CopiedBytes
+}
+
 // Table is the two-page-size page table: the paper's 4KB/32KB chunk
 // model, kept as a thin wrapper over the N-size NTable so the original
 // API (MapSmall/MapLarge, block-array Demote) survives unchanged. The

@@ -63,6 +63,32 @@ type LadderStats struct {
 	Mapped      [addr.MaxSizeClasses]int          // regions currently mapped at class k
 }
 
+// Sub removes a previously recorded baseline from the flow counters —
+// Refs, RefsByClass, Promotions, Demotions — leaving the activity that
+// happened after the baseline snapshot. Mapped is a gauge (current
+// state, not flow) and is kept, not subtracted: after a warm-up preroll
+// the mapped-region count is exactly the state the warm-up built.
+func (s *LadderStats) Sub(o LadderStats) {
+	s.Refs -= o.Refs
+	for k := range s.RefsByClass {
+		s.RefsByClass[k] -= o.RefsByClass[k]
+		s.Promotions[k] -= o.Promotions[k]
+		s.Demotions[k] -= o.Demotions[k]
+	}
+}
+
+// Merge folds another shard's flow counters into s. Mapped is a gauge
+// and follows last-writer semantics: the caller overwrites it with the
+// final shard's value, so Merge leaves it alone.
+func (s *LadderStats) Merge(o LadderStats) {
+	s.Refs += o.Refs
+	for k := range s.RefsByClass {
+		s.RefsByClass[k] += o.RefsByClass[k]
+		s.Promotions[k] += o.Promotions[k]
+		s.Demotions[k] += o.Demotions[k]
+	}
+}
+
 // Ladder is the N-level dynamic page-size assignment policy. With two
 // classes it reproduces TwoSize decision-for-decision (the two-size
 // constructor is a shim over it; internal/tworef pins the equivalence).

@@ -159,6 +159,28 @@ type TwoSizeStats struct {
 	LargeChunks int    // chunks currently mapped large
 }
 
+// Sub removes a previously recorded baseline from the flow counters,
+// leaving the activity after the snapshot. LargeChunks is a gauge and
+// is kept (see LadderStats.Sub).
+func (s *TwoSizeStats) Sub(o TwoSizeStats) {
+	s.Refs -= o.Refs
+	s.LargeRefs -= o.LargeRefs
+	s.SmallRefs -= o.SmallRefs
+	s.Promotions -= o.Promotions
+	s.Demotions -= o.Demotions
+}
+
+// Merge folds another shard's flow counters into s. LargeChunks is a
+// gauge with last-writer semantics; the caller sets it from the final
+// shard.
+func (s *TwoSizeStats) Merge(o TwoSizeStats) {
+	s.Refs += o.Refs
+	s.LargeRefs += o.LargeRefs
+	s.SmallRefs += o.SmallRefs
+	s.Promotions += o.Promotions
+	s.Demotions += o.Demotions
+}
+
 // TwoSize is the paper's dynamic page-size assignment policy
 // (Section 3.4), kept as the two-class constructor over the N-level
 // Ladder core — its decisions are pinned against the pre-generalization

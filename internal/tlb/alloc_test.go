@@ -34,3 +34,20 @@ func TestAccessAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsMergeSubAllocs pins the shard merge/warm-up arithmetic at
+// zero allocations: Merge folds one shard's counters per (shard, TLB)
+// pair and Sub subtracts a warm-up snapshot per shard, so both must be
+// pure value updates.
+func TestStatsMergeSubAllocs(t *testing.T) {
+	a := Stats{Accesses: 100, Classes: 2}
+	b := Stats{Accesses: 40, Classes: 2}
+	avg := testing.AllocsPerRun(5000, func() {
+		s := a
+		s.Merge(b)
+		s.Sub(b)
+	})
+	if avg != 0 {
+		t.Errorf("Stats.Merge+Sub allocates %.2f times per call, want 0", avg)
+	}
+}

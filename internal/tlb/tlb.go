@@ -163,6 +163,20 @@ func (s *Stats) Merge(o Stats) {
 	}
 }
 
+// Sub removes a previously recorded baseline from the counters: every
+// count in o must have been accumulated into s first. Shard workers use
+// it to roll back a warm-up preroll's traffic, leaving exactly the
+// section's own accesses — integer arithmetic, so the subtraction is
+// exact. It allocates nothing.
+func (s *Stats) Sub(o Stats) {
+	s.Accesses -= o.Accesses
+	s.Invalidations -= o.Invalidations
+	for k := range s.HitsByClass {
+		s.HitsByClass[k] -= o.HitsByClass[k]
+		s.MissesByClass[k] -= o.MissesByClass[k]
+	}
+}
+
 // Hits returns total hits.
 func (s Stats) Hits() uint64 {
 	var n uint64

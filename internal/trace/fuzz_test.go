@@ -201,3 +201,62 @@ func FuzzTextReader(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSectionBounds drives Section, SectionRefs, SectionStart and
+// Preroll with arbitrary — including degenerate — coordinates: no call
+// may panic, adjacent sections must abut (SectionStart(i) + refs ==
+// SectionStart(i+1)), and a preroll must end exactly where its section
+// begins, covering at least w references whenever that many precede it.
+func FuzzSectionBounds(f *testing.F) {
+	f.Add(uint16(1000), uint16(64), 3, 8, uint32(100))
+	f.Add(uint16(10), uint16(4), -1, 0, uint32(0))
+	f.Add(uint16(0), uint16(16), 5, 3, uint32(1))
+	f.Add(uint16(300), uint16(1), 200, 7, uint32(65535))
+	f.Add(uint16(777), uint16(9), 2, 3, uint32(500))
+	f.Fuzz(func(t *testing.T, nRefs, blockRefs uint16, i, n int, w uint32) {
+		br := int(blockRefs)
+		if br == 0 {
+			br = 1
+		}
+		refs := genRefs(int(nRefs), 7)
+		file, err := NewFileBytes(encodeV2(t, refs, br))
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := file.SectionStart(i, n)
+		secRefs := file.SectionRefs(i, n)
+		if start > file.Refs() || start+secRefs > file.Refs() {
+			t.Fatalf("Section(%d, %d): start %d + refs %d overrun file (%d refs)",
+				i, n, start, secRefs, file.Refs())
+		}
+		got := readAll(t, file.Section(i, n), 300)
+		if uint64(len(got)) != secRefs {
+			t.Fatalf("Section(%d, %d) yielded %d refs, SectionRefs says %d", i, n, len(got), secRefs)
+		}
+		for j, r := range got {
+			if want := refs[start+uint64(j)]; r != want {
+				t.Fatalf("Section(%d, %d) ref %d = %v, want %v (misaligned cursor)", i, n, j, r, want)
+			}
+		}
+		if i >= 0 && i+1 < n {
+			if next := file.SectionStart(i+1, n); start+secRefs != next {
+				t.Fatalf("sections %d and %d of %d do not abut: %d + %d != %d",
+					i, i+1, n, start, secRefs, next)
+			}
+		}
+		pr := file.Preroll(i, n, uint64(w))
+		covered := pr.Refs()
+		if covered > start {
+			t.Fatalf("Preroll(%d, %d, %d) covers %d refs but only %d precede the section", i, n, w, covered, start)
+		}
+		if secRefs > 0 && w > 0 && covered < uint64(w) && covered < start {
+			t.Fatalf("Preroll(%d, %d, %d) covers only %d refs with %d available", i, n, w, covered, start)
+		}
+		warm := readAll(t, pr, 300)
+		for j, r := range warm {
+			if want := refs[start-covered+uint64(j)]; r != want {
+				t.Fatalf("Preroll(%d, %d, %d) ref %d = %v, want %v (does not abut section)", i, n, w, j, r, want)
+			}
+		}
+	})
+}

@@ -106,20 +106,87 @@ func TestV2SectionsPartition(t *testing.T) {
 	}
 }
 
-func TestV2SectionPanicsOutOfRange(t *testing.T) {
+// Degenerate section coordinates — zero or negative counts, indices
+// outside [0, n) — return empty readers rather than panicking or
+// producing misaligned cursors, so shard counts computed from flag
+// values need no pre-validation.
+func TestV2SectionDegenerateInputsAreEmpty(t *testing.T) {
 	f, err := NewFileBytes(encodeV2(t, genRefs(10, 1), 4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, c := range [][2]int{{-1, 4}, {4, 4}, {0, 0}, {0, -1}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("Section(%d, %d) did not panic", c[0], c[1])
+	for _, c := range [][2]int{{-1, 4}, {4, 4}, {0, 0}, {0, -1}, {-7, -3}, {1000, 2}} {
+		i, n := c[0], c[1]
+		got, gerr := f.Section(i, n).Read(make([]Ref, 16))
+		if got != 0 || gerr != io.EOF {
+			t.Errorf("Section(%d, %d).Read = (%d, %v), want (0, EOF)", i, n, got, gerr)
+		}
+		if refs := f.SectionRefs(i, n); refs != 0 {
+			t.Errorf("SectionRefs(%d, %d) = %d, want 0", i, n, refs)
+		}
+		if r := f.Preroll(i, n, 100); r.Refs() != 0 {
+			t.Errorf("Preroll(%d, %d, 100) covers %d refs, want 0", i, n, r.Refs())
+		}
+	}
+}
+
+// SectionStart must equal the sum of all earlier sections' refs — the
+// global timestamp of the section's first reference — for any split.
+func TestV2SectionStart(t *testing.T) {
+	refs := genRefs(10_000, 9)
+	f, err := NewFileBytes(encodeV2(t, refs, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 8, f.Blocks(), f.Blocks() + 5} {
+		var cum uint64
+		for i := 0; i < n; i++ {
+			if start := f.SectionStart(i, n); start != cum {
+				t.Fatalf("n=%d: SectionStart(%d) = %d, want %d", n, i, start, cum)
+			}
+			cum += f.SectionRefs(i, n)
+		}
+	}
+}
+
+// Preroll(i, n, w) must end exactly where section i begins and cover at
+// least w references whenever the file holds that many before the
+// section; replaying preroll then section therefore replays a suffix of
+// the serial stream ending at the section's end.
+func TestV2Preroll(t *testing.T) {
+	refs := genRefs(10_000, 9)
+	f, err := NewFileBytes(encodeV2(t, refs, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 3, 8} {
+		for i := 0; i < n; i++ {
+			for _, w := range []uint64{0, 1, 100, 5_000, 1 << 40} {
+				pr := f.Preroll(i, n, w)
+				start := f.SectionStart(i, n)
+				covered := pr.Refs()
+				if i == 0 || w == 0 {
+					if covered != 0 {
+						t.Fatalf("n=%d i=%d w=%d: preroll covers %d refs, want 0", n, i, w, covered)
+					}
+					continue
 				}
-			}()
-			f.Section(c[0], c[1])
-		}()
+				if covered < w && covered != start {
+					t.Fatalf("n=%d i=%d w=%d: preroll covers %d refs (< w) without reaching file start (%d preceding)",
+						n, i, w, covered, start)
+				}
+				got := readAll(t, pr, 777)
+				if uint64(len(got)) != covered {
+					t.Fatalf("n=%d i=%d w=%d: preroll yielded %d refs, Refs() says %d", n, i, w, len(got), covered)
+				}
+				for j, r := range got {
+					want := refs[start-covered+uint64(j)]
+					if r != want {
+						t.Fatalf("n=%d i=%d w=%d: preroll ref %d = %v, want %v", n, i, w, j, r, want)
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -140,33 +140,78 @@ func (f *File) BytesPerRef() float64 {
 // Reader returns a cursor over the whole file.
 func (f *File) Reader() *MapReader { return f.Section(0, 1) }
 
+// sectionBounds returns the block range [lo, hi) of the i'th of n
+// sections. Degenerate inputs — n <= 0, i out of [0, n) — yield the
+// empty range, so shard counts computed from untrusted flag values
+// produce empty readers rather than cursors with misaligned block
+// indices (a negative i used to overflow into a read-time panic).
+func (f *File) sectionBounds(i, n int) (lo, hi int) {
+	if n <= 0 || i < 0 || i >= n {
+		return 0, 0
+	}
+	lo = len(f.blocks) * i / n
+	hi = len(f.blocks) * (i + 1) / n
+	return lo, hi
+}
+
 // Section returns a cursor over the i'th of n near-equal block ranges,
 // for handing disjoint regions of one file to parallel workers: the n
 // sections partition the file, and concatenating them in order yields
-// exactly the full stream. Section panics if i or n is out of range —
-// like a slice bounds error, it is a programmer mistake, not an input
-// condition.
+// exactly the full stream. When n exceeds the block count the trailing
+// sections are empty; degenerate inputs (n <= 0 or i outside [0, n))
+// also return an empty reader rather than panicking, so shard counts
+// derived from user flags are safe to pass through unchecked.
 func (f *File) Section(i, n int) *MapReader {
-	if n <= 0 || i < 0 || i >= n {
-		panic(fmt.Sprintf("trace: Section(%d, %d) out of range", i, n))
-	}
-	lo := len(f.blocks) * i / n
-	hi := len(f.blocks) * (i + 1) / n
+	lo, hi := f.sectionBounds(i, n)
 	return &MapReader{f: f, start: lo, end: hi, blk: lo}
 }
 
-// SectionRefs returns how many references Section(i, n) will yield.
+// SectionRefs returns how many references Section(i, n) will yield
+// (zero for empty or degenerate sections).
 func (f *File) SectionRefs(i, n int) uint64 {
-	if n <= 0 || i < 0 || i >= n {
-		panic(fmt.Sprintf("trace: SectionRefs(%d, %d) out of range", i, n))
-	}
-	lo := len(f.blocks) * i / n
-	hi := len(f.blocks) * (i + 1) / n
+	lo, hi := f.sectionBounds(i, n)
 	var total uint64
 	for _, b := range f.blocks[lo:hi] {
 		total += uint64(b.nRefs)
 	}
 	return total
+}
+
+// SectionStart returns how many references precede Section(i, n) in the
+// file — the global timestamp of the section's first reference. Shard
+// workers use it to place per-shard observations on the file's shared
+// timeline (zero for degenerate sections).
+func (f *File) SectionStart(i, n int) uint64 {
+	lo, hi := f.sectionBounds(i, n)
+	if lo == hi {
+		if lo < len(f.blocks) {
+			return f.blocks[lo].cum
+		}
+		return f.refs
+	}
+	return f.blocks[lo].cum
+}
+
+// Preroll returns a cursor over the blocks immediately preceding
+// Section(i, n), covering at least w references when that many exist —
+// the warm-up stream a shard replays so its simulator state at the
+// section boundary approximates the serial simulator's. The preroll is
+// block-aligned: it may cover more than w references (never fewer,
+// unless the file starts too close to the section), and it ends exactly
+// where the section begins, so warm-up plus section replays a suffix of
+// the serial stream. Section 0 and degenerate inputs get an empty
+// preroll.
+func (f *File) Preroll(i, n int, w uint64) *MapReader {
+	lo, hi := f.sectionBounds(i, n)
+	if lo == hi || lo == 0 || w == 0 {
+		return &MapReader{f: f}
+	}
+	start := f.blocks[lo].cum
+	b0 := lo
+	for b0 > 0 && start-f.blocks[b0].cum < w {
+		b0--
+	}
+	return &MapReader{f: f, start: b0, end: lo, blk: b0}
 }
 
 // Close releases the mapping. Readers derived from the File must not be

@@ -59,7 +59,11 @@ func Unregister(name string) bool {
 // of f and must not Close it while the workload is in use.
 func RegisterFile(name string, f *trace.File) error {
 	desc := fmt.Sprintf("v2 trace file (%d refs, %.2f bytes/ref)", f.Refs(), f.BytesPerRef())
-	return RegisterSource(name, desc, f.Refs(), false, func(refs uint64) trace.Reader {
+	if err := RegisterSource(name, desc, f.Refs(), false, func(refs uint64) trace.Reader {
 		return f.Reader()
-	})
+	}); err != nil {
+		return err
+	}
+	specs[len(specs)-1].File = f
+	return nil
 }

@@ -28,6 +28,46 @@ func TestStepAllocs(t *testing.T) {
 	}
 }
 
+// TestShardStepAllocs pins the shard-local working-set step — the
+// per-reference hot loop of a sharded static pass — at zero
+// steady-state allocations, like the serial Step above. The extra
+// first-access table grows only while the footprint is new.
+func TestShardStepAllocs(t *testing.T) {
+	s := NewStaticShard(1<<16, 1<<20, addr.BlockShift, addr.ChunkShift)
+	for i := 0; i < 1<<14; i++ {
+		s.Step(addr.VA(i * 4096))
+	}
+	i := 0
+	avg := testing.AllocsPerRun(5000, func() {
+		s.Step(addr.VA(uint64(i*4096) % (1 << 26)))
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("StaticShard.Step allocates %.2f times per call, want 0", avg)
+	}
+}
+
+// TestObserveWarmAllocs pins the warm-up observer at zero allocations
+// per reference: every sharded run replays up to a full policy window
+// through it before measuring, so it is as hot as Observe itself.
+func TestObserveWarmAllocs(t *testing.T) {
+	pol := policy.NewTwoSize(policy.DefaultTwoSizeConfig(1 << 12))
+	ts := NewTwoSize(pol)
+	stream := kernelref.VAStream(1 << 15)
+	for _, va := range stream {
+		ts.ObserveWarm(pol.Assign(va))
+	}
+	i := 0
+	avg := testing.AllocsPerRun(5000, func() {
+		va := stream[i&(1<<15-1)]
+		ts.ObserveWarm(pol.Assign(va))
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("Assign+ObserveWarm allocates %.2f times per reference, want 0", avg)
+	}
+}
+
 // TestObserveAllocs pins the two-size working-set observer — policy
 // assign, window hooks, incremental size accumulation — at zero
 // steady-state allocations per reference.

@@ -42,6 +42,9 @@ type Result struct {
 	// stream. Static schemes fill it; the dynamic two-size scheme leaves
 	// it zero because page identities change under promotion/demotion.
 	Pages uint64
+	// Samples counts the references the average was taken over, so
+	// shard-local results can be merged with the correct weights.
+	Samples uint64
 }
 
 // Normalized returns r.AvgBytes / base.AvgBytes, the paper's
@@ -138,6 +141,7 @@ func (s *Static) Finish() []Result {
 			Scheme:   addr.PageSize(size).String(),
 			AvgBytes: avg,
 			Pages:    uint64(s.last[i].Len()),
+			Samples:  s.steps,
 		}
 	}
 	return out
@@ -215,6 +219,27 @@ func (ts *TwoSize) Observe(res policy.Result) {
 	ts.steps++
 }
 
+// ObserveWarm records the outcome of one warm-up Assign call: it keeps
+// the incremental large/small split consistent with the policy's state
+// without accumulating the instantaneous size into the average — the
+// warm-up preroll exists to build state, not to be measured. Per-
+// reference warm-up hot path; allocation-free like Observe.
+//
+//paperlint:hot
+func (ts *TwoSize) ObserveWarm(res policy.Result) {
+	w := ts.pol.Window()
+	switch res.Event {
+	case policy.EventPromote:
+		n := w.ChunkActive(res.Chunk)
+		ts.blocksInLarge += n
+		ts.largeActive++
+	case policy.EventDemote:
+		n := w.ChunkActive(res.Chunk)
+		ts.blocksInLarge -= n
+		ts.largeActive--
+	}
+}
+
 // Current returns the instantaneous working-set size in bytes.
 func (ts *TwoSize) Current() uint64 {
 	smallBlocks := ts.pol.Window().ActiveBlocks() - ts.blocksInLarge
@@ -227,7 +252,7 @@ func (ts *TwoSize) Result() Result {
 	if ts.steps > 0 {
 		avg = ts.acc / float64(ts.steps)
 	}
-	return Result{Scheme: ts.pol.Name(), AvgBytes: avg}
+	return Result{Scheme: ts.pol.Name(), AvgBytes: avg, Samples: ts.steps}
 }
 
 // Steps returns how many references have been observed.
