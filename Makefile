@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK = honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK = golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: all build test verify lint paperlint lint-extra deprecation-gate bench bench-trace bench-kernels bench-shard bench-report golden golden-update paper
+.PHONY: all build test verify lint paperlint lint-extra bench bench-trace bench-kernels bench-shard bench-report golden golden-update paper
 
 all: build
 
@@ -18,8 +18,14 @@ test:
 	$(GO) test ./...
 
 # paperlint runs the repository's own invariant analyzers (package
-# twopage/internal/analysis): determinism, hotalloc, powtwo, ctxcheck,
-# errfmt. Zero tolerance: any unsuppressed diagnostic fails the build.
+# twopage/internal/analysis): determinism, hotalloc (interprocedural),
+# powtwo, ctxcheck, errfmt, mergecheck, keycheck, deprcheck, plus the
+# stale-suppression audit. Zero tolerance: any unsuppressed diagnostic
+# fails the build. deprcheck subsumes the old grep-based
+# deprecation-gate target: uses of Deprecated-marked identifiers
+# (tlb.Config.SmallShift/LargeShift and friends) outside their defining
+# package are findings, resolved by object so same-named current fields
+# (policy.TwoSizeConfig.LargeShift) are untouched.
 paperlint:
 	$(GO) run ./cmd/paperlint ./...
 
@@ -44,28 +50,9 @@ lint-extra:
 verify:
 	$(GO) vet ./...
 	$(MAKE) paperlint
-	$(MAKE) deprecation-gate
 	$(MAKE) lint-extra
 	$(GO) build ./...
 	$(GO) test -race ./...
-
-# deprecation-gate keeps the deprecated two-size TLB configuration from
-# creeping back: tlb.Config.SmallShift (and its Stats counterparts) are
-# shims over the per-class Shifts API. Only internal/tlb itself (which
-# folds the deprecated fields) and internal/tworef (the frozen
-# pre-generalization oracle the differential tests compare against) may
-# mention SmallShift. LargeShift is not gated: policy.TwoSizeConfig
-# legitimately keeps a field of that name.
-deprecation-gate:
-	@out=$$(grep -rln "SmallShift" --include="*.go" . \
-		| grep -v -e '^\./internal/tlb/' -e '^\./internal/tworef/' || true); \
-	if [ -n "$$out" ]; then \
-		echo "deprecation-gate: deprecated SmallShift referenced outside internal/tlb and internal/tworef:"; \
-		echo "$$out"; \
-		echo "migrate to tlb.Config.Shifts / per-class Stats (see internal/tlb deprecation notes)"; \
-		exit 1; \
-	fi; \
-	echo "deprecation-gate: ok"
 
 # bench runs every benchmark in benchstat-friendly form: no unit tests
 # mixed in (-run '^$'), allocation counts on, and repeated samples so

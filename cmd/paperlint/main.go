@@ -15,7 +15,18 @@
 //   - errfmt runs on the I/O boundary (internal/trace,
 //     internal/workload);
 //   - hotalloc and powtwo run everywhere: hot annotations and
-//     power-of-two construction sites may appear in any package.
+//     power-of-two construction sites may appear in any package;
+//   - mergecheck, keycheck and deprcheck run everywhere: merge-shaped
+//     stats methods, memo-key builders and deprecated identifiers are
+//     matched structurally, not by directory;
+//   - staleignore findings (suppression directives that suppressed
+//     nothing across the whole run) are appended at the end.
+//
+// Interprocedural facts — the static call graph, field-use sets and
+// the deprecation index — are built once over every loaded package, so
+// an allocation two calls below a //paperlint:hot function, or a
+// counter handled only by a helper the Merge method calls, is resolved
+// across package boundaries.
 package main
 
 import (
@@ -87,19 +98,33 @@ var errScope = map[string]bool{
 }
 
 // Lint applies the scoped analyzer suite to every loaded package and
-// returns the surviving diagnostics in stable order.
+// returns the surviving diagnostics in stable order. Whole-program
+// facts (call graph, field uses, deprecation index) and the
+// suppression table are built once over every loaded package, so the
+// interprocedural analyzers see across package boundaries and
+// //paperlint:ignore usage is tracked run-wide; directives that
+// suppressed nothing anywhere are appended as staleignore findings.
 func Lint(res *load.Result) []analysis.Diagnostic {
 	var (
-		det  = analysis.Determinism()
-		hot  = analysis.HotAlloc()
-		pow  = analysis.PowTwo(analysis.DefaultPowTwoConfig())
-		ctx  = analysis.CtxCheck()
-		errf = analysis.ErrFmt()
+		det   = analysis.Determinism()
+		hot   = analysis.HotAlloc()
+		pow   = analysis.PowTwo(analysis.DefaultPowTwoConfig())
+		ctx   = analysis.CtxCheck()
+		errf  = analysis.ErrFmt()
+		merge = analysis.MergeCheck()
+		key   = analysis.KeyCheck()
+		depr  = analysis.DeprCheck()
 	)
+	prog := analysis.NewProgram(res.Fset, res.Info)
+	supp := analysis.NewSuppressions(res.Fset)
+	for _, p := range res.Pkgs {
+		prog.AddPackage(p.Types, p.Files)
+		supp.AddFiles(p.Files...)
+	}
 	detScope := determinismScope(res.Pkgs)
 	var out []analysis.Diagnostic
 	for _, p := range res.Pkgs {
-		suite := []*analysis.Analyzer{hot, pow}
+		suite := []*analysis.Analyzer{hot, pow, merge, key, depr}
 		if detScope[p.ImportPath] {
 			suite = append(suite, det)
 		}
@@ -109,7 +134,7 @@ func Lint(res *load.Result) []analysis.Diagnostic {
 		if errScope[p.ImportPath] {
 			suite = append(suite, errf)
 		}
-		ds, err := analysis.Run(res.Fset, p.Files, p.Types, res.Info, suite)
+		ds, err := analysis.RunPkg(prog, supp, p.Types, p.Files, suite)
 		if err != nil {
 			// Analyzer-internal errors are programming bugs; surface them
 			// as diagnostics so the run still fails loudly.
@@ -121,6 +146,7 @@ func Lint(res *load.Result) []analysis.Diagnostic {
 		}
 		out = append(out, ds...)
 	}
+	out = append(out, supp.Stale()...)
 	analysis.Sort(out)
 	return out
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"go/token"
 	"os"
 	"path/filepath"
@@ -111,6 +112,36 @@ func hot(xs []int) []int {
 	}
 	if out.Len() != 0 {
 		t.Errorf("clean run produced output: %s", out.String())
+	}
+}
+
+// update rewrites lint_golden.json from the current run instead of
+// comparing against it: go test ./cmd/paperlint -run Golden -update
+var update = flag.Bool("update", false, "rewrite testdata/lint_golden.json")
+
+// TestGoldenJSON pins the full -json output — file order, positions,
+// analyzer names, message wording — over a fixture module seeding one
+// violation per analyzer (including the interprocedural hotalloc path
+// and a stale suppression). Any drift in diagnostic rendering or
+// ordering is a diff against a committed artifact, not a silent change.
+func TestGoldenJSON(t *testing.T) {
+	dir := filepath.Join("testdata", "lintmod")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "-dir", dir}, &out, &errOut); code != 1 {
+		t.Fatalf("run = %d, want 1; stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	golden := filepath.Join("testdata", "lint_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-json output drifted from %s:\ngot:\n%s\nwant:\n%s", golden, out.String(), want)
 	}
 }
 

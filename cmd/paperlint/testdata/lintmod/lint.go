@@ -1,0 +1,44 @@
+// Package lintmod seeds exactly one violation per analyzer the golden
+// test pins: a deprecated cross-package use, a Merge dropping a
+// counter, a Key omitting a knob, an allocation reached from a hot
+// function through a callee, and one stale suppression directive. The
+// committed lint_golden.json is the byte-exact -json rendering.
+package lintmod
+
+import (
+	"fmt"
+
+	"lintmod/old"
+)
+
+// Shift re-exports the legacy knob (deprcheck).
+const Shift = old.LegacyShift
+
+// Stats drops Hits from its merge (mergecheck).
+type Stats struct {
+	Refs uint64
+	Hits uint64
+}
+
+func (s *Stats) Merge(o Stats) {
+	s.Refs += o.Refs
+}
+
+// Config omits Ways from its key (keycheck).
+type Config struct {
+	Entries int
+	Ways    int
+}
+
+func (c Config) Key() (string, error) {
+	return fmt.Sprintf("cfg:%d", c.Entries), nil
+}
+
+func alloc() []int { return make([]int, 4) }
+
+//paperlint:hot
+func hot() []int {
+	return alloc() // interprocedural hotalloc, reported here
+}
+
+var x = 1 //paperlint:ignore powtwo suppresses nothing: staleignore reports it

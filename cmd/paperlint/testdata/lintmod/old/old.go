@@ -1,0 +1,8 @@
+// Package old carries the deprecated shim the fixture's root package
+// reaches for.
+package old
+
+// LegacyShift is the old page-shift knob.
+//
+// Deprecated: use Shifts.
+const LegacyShift = 12

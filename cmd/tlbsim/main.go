@@ -286,7 +286,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fmt.Fprintf(stdout, "tlb:         %s\n", tr.Name)
 	fmt.Fprintf(stdout, "refs:        %d (instrs %d, RPI %.3f)\n", res.Refs, res.Instrs, res.RPI)
 	fmt.Fprintf(stdout, "misses:      %d (small %d, large %d)\n",
-		tr.Stats.Misses(), tr.Stats.SmallMisses(), tr.Stats.LargeMisses())
+		tr.Stats.Misses(), tr.Stats.MissesByClass[0], tr.Stats.Misses()-tr.Stats.MissesByClass[0])
 	if tr.Stats.Classes > 2 {
 		for k := 0; k < tr.Stats.Classes; k++ {
 			fmt.Fprintf(stdout, "  class %d (%s): hits %d, misses %d\n",

@@ -1,5 +1,5 @@
 // Package analysis is a small, dependency-free reimplementation of the
-// golang.org/x/tools go/analysis model, carrying the five analyzers that
+// golang.org/x/tools go/analysis model, carrying the analyzers that
 // mechanically enforce this repository's invariants:
 //
 //   - determinism: no map iteration, wall-clock reads or global
@@ -8,7 +8,9 @@
 //     tables at any parallelism);
 //   - hotalloc: no allocation-inducing constructs inside functions
 //     annotated //paperlint:hot (the decode/simulate loops that the
-//     AllocsPerRun==0 tests pin to zero steady-state allocations);
+//     AllocsPerRun==0 tests pin to zero steady-state allocations), nor
+//     inside the static callees such functions reach — the call graph
+//     closes the "alloc hidden one call down" hole;
 //   - powtwo: page sizes and TLB/cache geometries that reach
 //     constructors as constants must be aligned powers of two, the
 //     paper's standing assumption (Section 1: "pages aligned and
@@ -18,13 +20,26 @@
 //     a check at least once per batch);
 //   - errfmt: errors wrapped with fmt.Errorf must use %w, and error
 //     returns must not be silently dropped in the trace/workload I/O
-//     paths.
+//     paths;
+//   - mergecheck: every Merge/Sub/Add-shaped stats method must
+//     reference every counter field of its struct, so the intra-trace
+//     sharded merge cannot silently drop a newly added counter
+//     (//paperlint:gauge opts a state field out, with a reason);
+//   - keycheck: every Key-shaped method feeding the engine memo cache
+//     must reference every field of its config struct (and of the
+//     nested module config structs it embeds in the key), so two
+//     configurations differing only in a new knob cannot collide in
+//     the cache;
+//   - deprcheck: no use of a declaration carrying the conventional
+//     "Deprecated:" doc marker outside its defining package.
 //
 // The model mirrors x/tools deliberately — Analyzer with a Run func,
 // Pass carrying files and type information, Reportf for diagnostics —
 // so the suite can migrate to the real framework wholesale if the
 // dependency ever becomes available. Only the stdlib go/ast, go/token
-// and go/types packages are used.
+// and go/types packages are used. Interprocedural analyzers consume a
+// Program (call graph, field-use facts, deprecation index) built once
+// over all loaded packages.
 //
 // # Suppression
 //
@@ -37,7 +52,10 @@
 // file; placed on or immediately above an offending line it suppresses
 // diagnostics on that line only. The reason text is free-form but
 // should say why the construct is safe (e.g. "order-independent
-// uint64 sum").
+// uint64 sum"). Suppressions are tracked: a directive that suppresses
+// nothing in a whole run is itself reported (analyzer "staleignore"),
+// so justified ignores cannot rot silently after the code they excuse
+// is fixed or deleted.
 package analysis
 
 import (
@@ -81,6 +99,14 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Prog holds whole-program facts (call graph, field uses,
+	// deprecation index) spanning every loaded package.
+	Prog *Program
+	// Supp is the run-wide suppression table; analyzers that pre-filter
+	// findings outside the normal report path (interprocedural hotalloc
+	// honoring a callee-local ignore) must consult it so directive
+	// usage is tracked.
+	Supp *Suppressions
 
 	report func(Diagnostic)
 }
@@ -97,50 +123,122 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // directivePrefix introduces every paperlint comment directive.
 const directivePrefix = "//paperlint:"
 
-// ignores records the //paperlint:ignore directives of one file.
-type ignores struct {
-	file map[string]bool         // analyzer -> suppressed for whole file
-	line map[int]map[string]bool // line -> analyzer -> suppressed
+// StaleIgnoreName is the analyzer name under which unused
+// //paperlint:ignore directives are reported.
+const StaleIgnoreName = "staleignore"
+
+// directive is one parsed //paperlint:ignore comment.
+type directive struct {
+	pos      token.Position
+	names    []string
+	nameSet  map[string]bool
+	fileWide bool
+	used     bool
 }
 
-// parseIgnores walks a file's comments for ignore directives. Header
-// placement (any comment line before or on the package clause line)
-// makes the directive file-wide; anywhere else it applies to its own
-// line and the line below, so it can trail the offending statement or
-// sit on its own line above it.
-func parseIgnores(fset *token.FileSet, f *ast.File) ignores {
-	ig := ignores{file: map[string]bool{}, line: map[int]map[string]bool{}}
-	pkgLine := fset.Position(f.Package).Line
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			rest, ok := strings.CutPrefix(c.Text, directivePrefix+"ignore")
-			if !ok {
-				continue
-			}
-			names := parseAnalyzerList(rest)
-			if len(names) == 0 {
-				continue
-			}
-			ln := fset.Position(c.Pos()).Line
-			if ln <= pkgLine {
-				for _, n := range names {
-					ig.file[n] = true
+// fileSupp holds one file's directives plus the line lookup table (a
+// line-scoped directive applies to its own line and the line below, so
+// it can trail the offending statement or sit on its own line above).
+type fileSupp struct {
+	directives []*directive
+	fileWide   []*directive
+	byLine     map[int][]*directive
+}
+
+// Suppressions is the run-wide //paperlint:ignore table. It records
+// which directives actually suppressed a diagnostic, so the driver can
+// report the stale remainder after all analyzers have run.
+type Suppressions struct {
+	fset  *token.FileSet
+	files map[string]*fileSupp
+}
+
+// NewSuppressions returns an empty suppression table.
+func NewSuppressions(fset *token.FileSet) *Suppressions {
+	return &Suppressions{fset: fset, files: map[string]*fileSupp{}}
+}
+
+// AddFiles parses the //paperlint:ignore directives of the given files
+// into the table. Header placement (any comment line before or on the
+// package clause line) makes a directive file-wide.
+func (s *Suppressions) AddFiles(files ...*ast.File) {
+	for _, f := range files {
+		fs := &fileSupp{byLine: map[int][]*directive{}}
+		pkgLine := s.fset.Position(f.Package).Line
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix+"ignore")
+				if !ok {
+					continue
 				}
-				continue
-			}
-			for _, target := range []int{ln, ln + 1} {
-				m := ig.line[target]
-				if m == nil {
-					m = map[string]bool{}
-					ig.line[target] = m
+				names := parseAnalyzerList(rest)
+				if len(names) == 0 {
+					continue
 				}
+				d := &directive{pos: s.fset.Position(c.Pos()), names: names, nameSet: map[string]bool{}}
 				for _, n := range names {
-					m[n] = true
+					d.nameSet[n] = true
+				}
+				fs.directives = append(fs.directives, d)
+				if d.pos.Line <= pkgLine {
+					d.fileWide = true
+					fs.fileWide = append(fs.fileWide, d)
+					continue
+				}
+				for _, target := range []int{d.pos.Line, d.pos.Line + 1} {
+					fs.byLine[target] = append(fs.byLine[target], d)
 				}
 			}
 		}
+		s.files[s.fset.Position(f.Package).Filename] = fs
 	}
-	return ig
+}
+
+// Suppressed reports whether a diagnostic of the named analyzer at pos
+// is suppressed, marking every matching directive as used.
+func (s *Suppressions) Suppressed(analyzer string, pos token.Position) bool {
+	fs := s.files[pos.Filename]
+	if fs == nil {
+		return false
+	}
+	hit := false
+	for _, d := range fs.fileWide {
+		if d.nameSet[analyzer] {
+			d.used = true
+			hit = true
+		}
+	}
+	for _, d := range fs.byLine[pos.Line] {
+		if d.nameSet[analyzer] {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// Stale returns one diagnostic per directive that suppressed nothing,
+// in stable position order. Call it after every analyzer has run on
+// every package; a directive naming an analyzer that no longer fires on
+// its line is dead weight whose justification no longer matches the
+// code, and must be fixed or deleted.
+func (s *Suppressions) Stale() []Diagnostic {
+	var out []Diagnostic
+	for _, fs := range s.files {
+		for _, d := range fs.directives {
+			if d.used {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: StaleIgnoreName,
+				Message: fmt.Sprintf("//paperlint:ignore %s suppresses no finding; fix or delete the stale directive",
+					strings.Join(d.names, ",")),
+			})
+		}
+	}
+	Sort(out)
+	return out
 }
 
 // parseAnalyzerList extracts analyzer names from the text after
@@ -180,23 +278,35 @@ func isAnalyzerName(s string) bool {
 }
 
 // Run applies the analyzers to one type-checked package and returns the
-// surviving (unsuppressed) diagnostics sorted by position.
+// surviving (unsuppressed) diagnostics sorted by position. It builds a
+// single-package Program and suppression table internally; drivers that
+// analyze several packages should build both once and use RunPkg so
+// interprocedural facts and suppression-usage tracking span the whole
+// run.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
-	perFile := make(map[string]ignores, len(files))
-	for _, f := range files {
-		perFile[fset.Position(f.Package).Filename] = parseIgnores(fset, f)
-	}
+	prog := NewProgram(fset, info)
+	prog.AddPackage(pkg, files)
+	supp := NewSuppressions(fset)
+	supp.AddFiles(files...)
+	return RunPkg(prog, supp, pkg, files, analyzers)
+}
+
+// RunPkg applies the analyzers to one package using shared
+// whole-program facts and a shared suppression table, returning the
+// surviving diagnostics sorted by position.
+func RunPkg(prog *Program, supp *Suppressions, pkg *types.Package, files []*ast.File, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var out []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
-			Fset:      fset,
+			Fset:      prog.Fset,
 			Files:     files,
 			Pkg:       pkg,
-			TypesInfo: info,
+			TypesInfo: prog.Info,
+			Prog:      prog,
+			Supp:      supp,
 			report: func(d Diagnostic) {
-				ig, ok := perFile[d.Pos.Filename]
-				if ok && (ig.file[d.Analyzer] || ig.line[d.Pos.Line][d.Analyzer]) {
+				if supp.Suppressed(d.Analyzer, d.Pos) {
 					return
 				}
 				out = append(out, d)
@@ -241,5 +351,8 @@ func All() []*Analyzer {
 		PowTwo(DefaultPowTwoConfig()),
 		CtxCheck(),
 		ErrFmt(),
+		MergeCheck(),
+		KeyCheck(),
+		DeprCheck(),
 	}
 }

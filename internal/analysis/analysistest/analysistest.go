@@ -51,7 +51,23 @@ func Run(t *testing.T, testdata, pkgPath string, analyzers ...*analysis.Analyzer
 	if err != nil {
 		t.Fatalf("loading %s: %v", pkgPath, err)
 	}
-	diags, err := analysis.Run(l.fset, files, pkg, l.info, analyzers)
+	// Interprocedural facts span every package the target pulled in, so
+	// a deprecation marker or hot annotation in an imported fixture
+	// package is visible; suppressions likewise, so a callee-local
+	// ignore in an imported package silences hot callers here.
+	prog := analysis.NewProgram(l.fset, l.info)
+	supp := analysis.NewSuppressions(l.fset)
+	paths := make([]string, 0, len(l.loaded))
+	for path := range l.loaded {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		p := l.loaded[path]
+		prog.AddPackage(p.pkg, p.files)
+		supp.AddFiles(p.files...)
+	}
+	diags, err := analysis.RunPkg(prog, supp, pkg, files, analyzers)
 	if err != nil {
 		t.Fatalf("running analyzers on %s: %v", pkgPath, err)
 	}
@@ -134,6 +150,14 @@ func parseWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
 	return out, nil
 }
 
+// loadedPkg is one type-checked fixture package with its syntax, kept
+// so whole-program facts can be built over everything the target
+// imports.
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+}
+
 // loader type-checks testdata packages, resolving imports first within
 // testdata/src and then from the standard library's source.
 type loader struct {
@@ -141,7 +165,7 @@ type loader struct {
 	fset     *token.FileSet
 	info     *types.Info
 	std      types.Importer
-	loaded   map[string]*types.Package
+	loaded   map[string]*loadedPkg
 }
 
 func newLoader(testdata string) *loader {
@@ -156,7 +180,7 @@ func newLoader(testdata string) *loader {
 			Selections: map[*ast.SelectorExpr]*types.Selection{},
 		},
 		std:    importer.ForCompiler(fset, "source", nil),
-		loaded: map[string]*types.Package{},
+		loaded: map[string]*loadedPkg{},
 	}
 }
 
@@ -185,15 +209,15 @@ func (l *loader) load(pkgPath string) (*types.Package, []*ast.File, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	l.loaded[pkgPath] = pkg
+	l.loaded[pkgPath] = &loadedPkg{pkg: pkg, files: files}
 	return pkg, files, nil
 }
 
 // Import implements types.Importer over testdata-local packages first,
 // standard library second.
 func (l *loader) Import(path string) (*types.Package, error) {
-	if pkg, ok := l.loaded[path]; ok {
-		return pkg, nil
+	if p, ok := l.loaded[path]; ok {
+		return p.pkg, nil
 	}
 	local := filepath.Join(l.testdata, "src", filepath.FromSlash(path))
 	if st, err := os.Stat(local); err == nil && st.IsDir() {

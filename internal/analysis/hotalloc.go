@@ -1,9 +1,11 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"strings"
 )
 
@@ -23,15 +25,31 @@ import (
 //   - explicit conversions to interface types (the boxed value
 //     escapes).
 //
+// Arguments to panic are exempt everywhere: a panicking path is
+// terminal, so the fmt.Sprintf building a panic message is not a
+// steady-state allocation (the addr geometry guards panic this way).
+//
+// The check is interprocedural: the hot function's static callees are
+// traversed through the program call graph (transitively, within the
+// module), so an allocation hidden one call down is reported at the
+// call site that drags it into the hot path. Callees that are
+// themselves //paperlint:hot are skipped — they are hot roots analyzed
+// in their own right. Calls the graph cannot resolve statically
+// (interface dispatch, function values) are not traversed; the
+// concrete implementations behind the simulator's interfaces carry
+// their own hot annotations.
+//
 // One-time warm-up allocations (growing a scratch buffer on first use)
 // are legitimate; suppress them line by line with
-// //paperlint:ignore hotalloc and a justification. The AllocsPerRun==0
-// tests remain the runtime backstop; this analyzer catches regressions
-// at lint time and names the construct.
+// //paperlint:ignore hotalloc and a justification — on the construct's
+// own line (which also silences every hot caller reaching it) or on
+// the call-site line in the hot function. The AllocsPerRun==0 tests
+// remain the runtime backstop; this analyzer catches regressions at
+// lint time and names the construct.
 func HotAlloc() *Analyzer {
 	a := &Analyzer{
 		Name: "hotalloc",
-		Doc:  "flags allocation-inducing constructs inside //paperlint:hot functions",
+		Doc:  "flags allocation-inducing constructs inside //paperlint:hot functions and their static callees",
 	}
 	a.Run = func(pass *Pass) error {
 		for _, f := range pass.Files {
@@ -95,18 +113,88 @@ func isHotLit(fset *token.FileSet, lit *ast.FuncLit, hot map[int]bool) bool {
 	return hot[ln] || hot[ln-1]
 }
 
-// checkHotBody walks one hot function body reporting allocation
-// constructs. name labels diagnostics.
+// checkHotBody walks one hot function body: allocation constructs in
+// the body itself are reported in place, and every statically resolved
+// call is traversed through the program call graph so allocations in
+// (transitive) callees are reported at the call site that reaches
+// them. name labels diagnostics.
 func checkHotBody(pass *Pass, body *ast.BlockStmt, name string) {
-	info := pass.TypesInfo
+	for _, f := range scanAllocs(pass.TypesInfo, pass.Pkg, body) {
+		pass.Reportf(f.pos, "hot %s: %s", name, f.msg)
+	}
+	if pass.Prog == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass.TypesInfo, call)
+		if callee == nil || pass.Prog.DeclOf(callee) == nil || pass.Prog.IsHot(callee) {
+			return true
+		}
+		for _, fn := range pass.Prog.Closure(callee, true) {
+			for _, f := range pass.Prog.allocFindings(fn) {
+				cpos := pass.Fset.Position(f.pos)
+				if pass.Supp != nil && pass.Supp.Suppressed(pass.Analyzer.Name, cpos) {
+					continue
+				}
+				pass.Reportf(call.Pos(), "hot %s: call to %s reaches an allocation: %s (in %s, %s:%d)",
+					name, callee.Name(), f.msg, fn.Name(), filepath.Base(cpos.Filename), cpos.Line)
+			}
+		}
+		return true
+	})
+}
+
+// allocFinding is one allocation-inducing construct found by the
+// scanner: its position and a message describing the construct (without
+// the "hot <name>:" prefix the reporting layer adds).
+type allocFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// allocFindings scans (and caches) the allocation constructs of one
+// module function's body. The cache holds unfiltered findings;
+// suppression is applied by the consumer so directive usage is
+// tracked per run.
+func (p *Program) allocFindings(fn *types.Func) []allocFinding {
+	if cached, ok := p.allocs[fn]; ok {
+		return cached
+	}
+	var out []allocFinding
+	if d := p.decls[fn]; d != nil && d.Body != nil {
+		out = scanAllocs(p.Info, fn.Pkg(), d.Body)
+	}
+	p.allocs[fn] = out
+	return out
+}
+
+// scanAllocs walks one function body collecting allocation-inducing
+// constructs in source order.
+func scanAllocs(info *types.Info, pkg *types.Package, body *ast.BlockStmt) []allocFinding {
+	var out []allocFinding
+	add := func(pos token.Pos, msg string) {
+		out = append(out, allocFinding{pos: pos, msg: msg})
+	}
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
+			// Arguments to panic are exempt: a panicking path is
+			// terminal, never steady state, so formatting the panic
+			// message may allocate freely.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					return false
+				}
+			}
 			// Conversions to interface types box their operand.
 			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
 				if t := tv.Type; t != nil && types.IsInterface(t.Underlying()) && len(n.Args) == 1 {
 					if at := info.TypeOf(n.Args[0]); at != nil && !types.IsInterface(at.Underlying()) {
-						pass.Reportf(n.Pos(), "hot %s: conversion to interface type %s allocates", name, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+						add(n.Pos(), fmt.Sprintf("conversion to interface type %s allocates", types.TypeString(t, types.RelativeTo(pkg))))
 					}
 				}
 				return true
@@ -115,46 +203,47 @@ func checkHotBody(pass *Pass, body *ast.BlockStmt, name string) {
 				if b, ok := info.Uses[id].(*types.Builtin); ok {
 					switch b.Name() {
 					case "append":
-						pass.Reportf(n.Pos(), "hot %s: append may grow and reallocate; preallocate outside the hot path", name)
+						add(n.Pos(), "append may grow and reallocate; preallocate outside the hot path")
 					case "make", "new":
-						pass.Reportf(n.Pos(), "hot %s: %s allocates; hoist to construction or first-use guard (//paperlint:ignore hotalloc with justification)", name, b.Name())
+						add(n.Pos(), fmt.Sprintf("%s allocates; hoist to construction or first-use guard (//paperlint:ignore hotalloc with justification)", b.Name()))
 					}
 					return true
 				}
 			}
 			if fn := calleeFunc(info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
-				pass.Reportf(n.Pos(), "hot %s: fmt.%s allocates (variadic boxing and formatting)", name, fn.Name())
+				add(n.Pos(), fmt.Sprintf("fmt.%s allocates (variadic boxing and formatting)", fn.Name()))
 			}
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD && isStringType(info.TypeOf(n)) {
-				pass.Reportf(n.Pos(), "hot %s: string concatenation allocates per evaluation", name)
+				add(n.Pos(), "string concatenation allocates per evaluation")
 			}
 		case *ast.AssignStmt:
 			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
-				pass.Reportf(n.Pos(), "hot %s: string += allocates per evaluation", name)
+				add(n.Pos(), "string += allocates per evaluation")
 			}
 		case *ast.CompositeLit:
 			if t := info.TypeOf(n); t != nil {
 				switch t.Underlying().(type) {
 				case *types.Slice, *types.Map:
-					pass.Reportf(n.Pos(), "hot %s: %s literal allocates", name, kindName(t))
+					add(n.Pos(), fmt.Sprintf("%s literal allocates", kindName(t)))
 				}
 			}
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
-					pass.Reportf(n.Pos(), "hot %s: &composite literal escapes to the heap", name)
+					add(n.Pos(), "&composite literal escapes to the heap")
 				}
 			}
 		case *ast.FuncLit:
 			if capturesOuter(info, n) {
-				pass.Reportf(n.Pos(), "hot %s: closure captures enclosing variables and allocates", name)
+				add(n.Pos(), "closure captures enclosing variables and allocates")
 			}
 			// Nested literal bodies are still within the hot region;
 			// keep walking them.
 		}
 		return true
 	})
+	return out
 }
 
 func isStringType(t types.Type) bool {

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MergeCheck returns the analyzer pinning the sharded-merge
+// exhaustiveness invariant: any struct with a Merge/Sub/Add-shaped
+// method — a method named Merge, Sub or Add taking exactly one
+// parameter of the receiver's own struct type — must reference every
+// counter field of the struct somewhere in that method or its static
+// callees.
+//
+// The intra-trace sharded simulation (DESIGN.md §10) reassembles a run
+// from per-shard stats structs; a counter field that Merge never
+// mentions is silently dropped from every sharded run, and a field
+// that Sub never mentions survives warm-up roll-back inflated by the
+// preroll's traffic. Both bugs are invisible to the type checker and
+// historically were guarded only by a runtime reflection test in
+// internal/obs. This analyzer makes the invariant structural: add a
+// field to tlb.Stats, policy.TwoSizeStats, policy.LadderStats,
+// pagetable.Stats, obs.Counters — or any future stats type with a
+// merge-shaped method — and the lint run fails until the method
+// handles it.
+//
+// Counter fields are the numeric fields and arrays of numerics. A
+// field that is a gauge — current state with last-writer or
+// carry-from-last-shard semantics rather than a summable flow — is
+// opted out by annotating its declaration with
+//
+//	//paperlint:gauge reason
+//
+// (in the field's doc comment or trailing line comment). "Referenced"
+// means any mention of the field object, read or write, so max-merged
+// high-water marks and conditional carries count; the analyzer checks
+// presence, not arithmetic — the shard-invariance battery remains the
+// semantic backstop.
+func MergeCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "mergecheck",
+		Doc:  "merge-shaped stats methods must reference every counter field of their struct",
+	}
+	a.Run = func(pass *Pass) error {
+		gauges := gaugeFields(pass)
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				d, ok := decl.(*ast.FuncDecl)
+				if !ok || d.Recv == nil || d.Body == nil {
+					continue
+				}
+				switch d.Name.Name {
+				case "Merge", "Sub", "Add":
+				default:
+					continue
+				}
+				fn, _ := pass.TypesInfo.Defs[d.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				named, st := receiverStruct(fn)
+				if named == nil {
+					continue
+				}
+				sig := fn.Type().(*types.Signature)
+				if sig.Params().Len() != 1 || !types.Identical(deref(sig.Params().At(0).Type()), named) {
+					continue // Add(key, delta) and friends are not merge-shaped
+				}
+				closure := pass.Prog.Closure(fn, false)
+				for i := 0; i < st.NumFields(); i++ {
+					f := st.Field(i)
+					if !isCounterType(f.Type()) || gauges[f] {
+						continue
+					}
+					if !pass.Prog.FieldUsed(closure, f) {
+						pass.Reportf(d.Name.Pos(),
+							"%s.%s does not reference counter field %s: a sharded merge would silently drop it (handle the field, or annotate it //paperlint:gauge with a reason if it is state, not flow)",
+							named.Obj().Name(), d.Name.Name, f.Name())
+					}
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// receiverStruct resolves a method's receiver to its named struct type,
+// or nil when the receiver is not a (pointer to a) named struct.
+func receiverStruct(fn *types.Func) (*types.Named, *types.Struct) {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return nil, nil
+	}
+	named, ok := deref(sig.Recv().Type()).(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return named, st
+}
+
+// deref strips one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// isCounterType reports whether a field type is a counter in the merge
+// sense: a numeric, or an array of counters.
+func isCounterType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsNumeric != 0
+	case *types.Array:
+		return isCounterType(u.Elem())
+	}
+	return false
+}
+
+// gaugeFields collects the struct fields of the package annotated
+// //paperlint:gauge (doc comment above the field or line comment after
+// it).
+func gaugeFields(pass *Pass) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !hasGaugeDirective(field.Doc) && !hasGaugeDirective(field.Comment) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func hasGaugeDirective(g *ast.CommentGroup) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if strings.HasPrefix(c.Text, directivePrefix+"gauge") {
+			return true
+		}
+	}
+	return false
+}

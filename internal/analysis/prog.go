@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Program aggregates whole-program facts across every loaded package so
+// analyzers can reason interprocedurally: a static call graph over the
+// module's function declarations, a struct-field-use layer (which
+// fields does each function read or write), the //paperlint:hot
+// annotation set, and the index of objects carrying a standard
+// "Deprecated:" doc marker.
+//
+// The facts are deliberately syntactic and conservative:
+//
+//   - the call graph covers direct calls only — calls through
+//     interfaces, function values and built-ins resolve to no edge (the
+//     concrete implementations behind the simulator's interfaces carry
+//     their own annotations and are analyzed in their own right);
+//   - field use means any reference to the field object, read or
+//     write, including composite-literal keys — the exhaustiveness
+//     analyzers ask "does this code mention the field at all", which is
+//     exactly the invariant a newly added field tends to break.
+//
+// Build one Program per lint run: NewProgram, then AddPackage for every
+// package in load order. Facts are keyed by types objects, so packages
+// may be added in any order as long as they were type-checked through
+// one shared types.Info (the loader guarantees this).
+type Program struct {
+	Fset *token.FileSet
+	Info *types.Info
+
+	pkgs       map[*types.Package]bool
+	decls      map[*types.Func]*ast.FuncDecl
+	callees    map[*types.Func][]*types.Func
+	fields     map[*types.Func]map[*types.Var]bool
+	hot        map[*types.Func]bool
+	deprecated map[types.Object]string
+	allocs     map[*types.Func][]allocFinding // lazy hotalloc scan cache
+}
+
+// NewProgram returns an empty program over the shared file set and type
+// information.
+func NewProgram(fset *token.FileSet, info *types.Info) *Program {
+	return &Program{
+		Fset:       fset,
+		Info:       info,
+		pkgs:       map[*types.Package]bool{},
+		decls:      map[*types.Func]*ast.FuncDecl{},
+		callees:    map[*types.Func][]*types.Func{},
+		fields:     map[*types.Func]map[*types.Var]bool{},
+		hot:        map[*types.Func]bool{},
+		deprecated: map[types.Object]string{},
+		allocs:     map[*types.Func][]allocFinding{},
+	}
+}
+
+// AddPackage indexes one type-checked package: function declarations,
+// call edges, field uses, hot annotations and deprecation markers.
+func (p *Program) AddPackage(pkg *types.Package, files []*ast.File) {
+	p.pkgs[pkg] = true
+	for _, f := range files {
+		hotLines := hotDirectiveLines(p.Fset, f)
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				fn, _ := p.Info.Defs[d.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				p.decls[fn] = d
+				if isHotDecl(p.Fset, d, hotLines) {
+					p.hot[fn] = true
+				}
+				if note, ok := deprecationNote(d.Doc); ok {
+					p.deprecated[fn] = note
+				}
+				if d.Body != nil {
+					p.indexBody(fn, d.Body)
+				}
+			case *ast.GenDecl:
+				p.indexGenDecl(d)
+			}
+		}
+	}
+}
+
+// indexBody records the call edges and field references of one function
+// body, in source order (the order keeps closure traversal — and with
+// it diagnostic order — deterministic).
+func (p *Program) indexBody(fn *types.Func, body *ast.BlockStmt) {
+	seen := map[*types.Func]bool{}
+	uses := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if callee := calleeFunc(p.Info, n); callee != nil && !seen[callee] {
+				seen[callee] = true
+				p.callees[fn] = append(p.callees[fn], callee)
+			}
+		case *ast.Ident:
+			if v, ok := p.Info.Uses[n].(*types.Var); ok && v.IsField() {
+				uses[v] = true
+			}
+		}
+		return true
+	})
+	if len(uses) > 0 {
+		p.fields[fn] = uses
+	}
+}
+
+// indexGenDecl records deprecation markers on types, consts, vars and
+// struct fields. Following the Go convention, a declaration is
+// deprecated when its doc comment contains a paragraph line starting
+// "Deprecated:"; a single-spec declaration inherits the GenDecl's doc.
+func (p *Program) indexGenDecl(d *ast.GenDecl) {
+	declDoc := d.Doc
+	if len(d.Specs) != 1 {
+		declDoc = nil
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if note, ok := deprecationNote(s.Doc, declDoc); ok {
+				if obj := p.Info.Defs[s.Name]; obj != nil {
+					p.deprecated[obj] = note
+				}
+			}
+			if st, ok := s.Type.(*ast.StructType); ok {
+				p.indexStructFields(st)
+			}
+		case *ast.ValueSpec:
+			if note, ok := deprecationNote(s.Doc, declDoc); ok {
+				for _, name := range s.Names {
+					if obj := p.Info.Defs[name]; obj != nil {
+						p.deprecated[obj] = note
+					}
+				}
+			}
+		}
+	}
+}
+
+// indexStructFields records deprecation markers on individual struct
+// fields (doc comment above the field or line comment after it).
+func (p *Program) indexStructFields(st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		note, ok := deprecationNote(field.Doc, field.Comment)
+		if !ok {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				p.deprecated[obj] = note
+			}
+		}
+	}
+}
+
+// deprecationNote scans comment groups for the conventional
+// "Deprecated:" marker, returning the remainder of its first line.
+func deprecationNote(groups ...*ast.CommentGroup) (string, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, line := range strings.Split(g.Text(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "Deprecated:"); ok {
+				return strings.TrimSpace(rest), true
+			}
+		}
+	}
+	return "", false
+}
+
+// HasPackage reports whether pkg was added to the program (i.e. is a
+// module package whose source the analyzers can see).
+func (p *Program) HasPackage(pkg *types.Package) bool { return p.pkgs[pkg] }
+
+// DeclOf returns the module declaration of fn, or nil for functions
+// outside the program (standard library, function values).
+func (p *Program) DeclOf(fn *types.Func) *ast.FuncDecl { return p.decls[fn] }
+
+// IsHot reports whether fn carries a //paperlint:hot annotation.
+func (p *Program) IsHot(fn *types.Func) bool { return p.hot[fn] }
+
+// Deprecated returns the "Deprecated:" note attached to obj's
+// declaration, if any.
+func (p *Program) Deprecated(obj types.Object) (string, bool) {
+	note, ok := p.deprecated[obj]
+	return note, ok
+}
+
+// Closure returns fn plus every module function statically reachable
+// from it, in deterministic breadth-first order. With skipHot set,
+// traversal does not enter //paperlint:hot callees: those are analyzed
+// as hot roots in their own right, so a caller's closure would only
+// duplicate their diagnostics.
+func (p *Program) Closure(fn *types.Func, skipHot bool) []*types.Func {
+	visited := map[*types.Func]bool{fn: true}
+	order := []*types.Func{fn}
+	for i := 0; i < len(order); i++ {
+		for _, callee := range p.callees[order[i]] {
+			if visited[callee] || p.decls[callee] == nil {
+				continue
+			}
+			if skipHot && p.hot[callee] {
+				continue
+			}
+			visited[callee] = true
+			order = append(order, callee)
+		}
+	}
+	return order
+}
+
+// FieldUsed reports whether any function in fns references field (read
+// or write, including composite-literal keys).
+func (p *Program) FieldUsed(fns []*types.Func, field *types.Var) bool {
+	for _, fn := range fns {
+		if p.fields[fn][field] {
+			return true
+		}
+	}
+	return false
+}

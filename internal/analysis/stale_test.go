@@ -1,0 +1,64 @@
+package analysis_test
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"twopage/internal/analysis"
+)
+
+// TestSuppressionsStale exercises the directive-usage ledger: a
+// directive consulted by a matching diagnostic is used; everything else
+// surfaces as a staleignore finding in stable order.
+func TestSuppressionsStale(t *testing.T) {
+	const src = `//paperlint:ignore powtwo file-wide, consulted below
+package p
+
+var a = 1 //paperlint:ignore hotalloc used on its own line
+
+//paperlint:ignore determinism applies to the next line, also used
+var b = 2
+
+var c = 3 //paperlint:ignore errfmt never consulted: goes stale
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "stale.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := analysis.NewSuppressions(fset)
+	s.AddFiles(f)
+
+	at := func(line int) token.Position {
+		return token.Position{Filename: "stale.go", Line: line}
+	}
+	if !s.Suppressed("powtwo", at(8)) {
+		t.Error("file-wide directive did not suppress")
+	}
+	if !s.Suppressed("hotalloc", at(4)) {
+		t.Error("same-line directive did not suppress")
+	}
+	if !s.Suppressed("determinism", at(7)) {
+		t.Error("line-above directive did not suppress")
+	}
+	if s.Suppressed("errfmt", at(2)) {
+		t.Error("errfmt directive suppressed a diagnostic on an unrelated line")
+	}
+	if s.Suppressed("mergecheck", at(4)) {
+		t.Error("unrelated analyzer suppressed by hotalloc directive")
+	}
+
+	stale := s.Stale()
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale directives, want 1: %v", len(stale), stale)
+	}
+	d := stale[0]
+	if d.Analyzer != analysis.StaleIgnoreName {
+		t.Errorf("stale diagnostic analyzer = %q, want %q", d.Analyzer, analysis.StaleIgnoreName)
+	}
+	if d.Pos.Line != 9 || !strings.Contains(d.Message, "errfmt") {
+		t.Errorf("stale diagnostic = %v, want the errfmt directive on line 9", d)
+	}
+}

@@ -44,3 +44,15 @@ func TestCtxCheck(t *testing.T) {
 func TestErrFmt(t *testing.T) {
 	analysistest.Run(t, "testdata", "errfmt", analysis.ErrFmt())
 }
+
+func TestMergeCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", "mergecheck", analysis.MergeCheck())
+}
+
+func TestKeyCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", "keycheck", analysis.KeyCheck())
+}
+
+func TestDeprCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", "deprcheck", analysis.DeprCheck())
+}

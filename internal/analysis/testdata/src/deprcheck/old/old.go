@@ -1,0 +1,35 @@
+// Package old defines the deprecated shims the deprcheck fixture
+// consumes from outside.
+package old
+
+// SmallShift is the legacy shift knob.
+//
+// Deprecated: use Shifts.
+const SmallShift = 12
+
+// Pair is the legacy two-size config.
+//
+// Deprecated: use the N-size form.
+type Pair struct {
+	// Small is the legacy small shift.
+	//
+	// Deprecated: use Shifts.
+	Small uint
+	// Large is current API despite its sibling; only marked fields count.
+	Large uint
+}
+
+// Shifts is the current replacement; using it is fine anywhere.
+var Shifts = []uint{12, 15}
+
+// Legacy returns the legacy pair.
+//
+// Deprecated: use Current.
+func Legacy() Pair {
+	// Same-package use of deprecated names is allowed: the defining
+	// package keeps normalizing them.
+	return Pair{Small: SmallShift}
+}
+
+// Current returns the current shifts.
+func Current() []uint { return Shifts }

@@ -1,0 +1,75 @@
+package hotalloc
+
+import "fmt"
+
+// Interprocedural cases: allocations hidden behind static calls must be
+// reported at the call site that drags them into the hot path.
+
+func fill(dst []uint64, n int) []uint64 {
+	for i := 0; i < n; i++ {
+		dst = append(dst, uint64(i))
+	}
+	return dst
+}
+
+//paperlint:hot
+func hotCaller(dst []uint64) []uint64 {
+	return fill(dst, 8) // want `hot hotCaller: call to fill reaches an allocation: append may grow`
+}
+
+// A chain two calls deep: the finding names the innermost function but
+// is anchored at the hot call site.
+
+type node struct{ next *node }
+
+func viaA() *node { return viaB() }
+
+func viaB() *node { return &node{} }
+
+//paperlint:hot
+func hotDeep() *node {
+	return viaA() // want `hot hotDeep: call to viaA reaches an allocation: &composite literal escapes`
+}
+
+// Hot callees are roots of their own: the leaf reports its construct in
+// place and the caller's call site stays quiet.
+
+//paperlint:hot
+func hotLeaf() []int {
+	return make([]int, 8) // want `hot hotLeaf: make allocates`
+}
+
+//paperlint:hot
+func hotRoot() []int {
+	return hotLeaf()
+}
+
+// A justified ignore on the construct's own line silences every hot
+// caller that reaches it.
+
+func growScratch(buf []byte) []byte {
+	return append(buf, 0) //paperlint:ignore hotalloc amortized scratch growth, pinned by the fixture's alloc tests
+}
+
+//paperlint:hot
+func hotSuppressed(buf []byte) []byte {
+	return growScratch(buf)
+}
+
+// Arguments to panic are exempt, directly and through calls: the
+// panicking path is terminal, not steady state.
+
+func guard(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+}
+
+//paperlint:hot
+func hotGuarded(n int) int {
+	guard(n)
+	if n > 1<<20 {
+		panic(fmt.Sprintf("huge n %d", n))
+	}
+	return n * 2
+}

@@ -1,0 +1,55 @@
+package mergecheck
+
+// ShardStats mirrors the repo's stats shapes: flow counters that a
+// sharded merge must fold, one array counter, one annotated gauge, and
+// one non-counter field the analyzer must not demand.
+type ShardStats struct {
+	Refs   uint64
+	Hits   uint64
+	Misses uint64
+	ByWay  [4]uint64
+	//paperlint:gauge current mapping state, carried from the last shard
+	Mapped int
+	Name   string
+}
+
+func (s *ShardStats) Merge(o ShardStats) { // want `ShardStats.Merge does not reference counter field Misses`
+	s.Refs += o.Refs
+	s.Hits += o.Hits
+	for k := range s.ByWay {
+		s.ByWay[k] += o.ByWay[k]
+	}
+}
+
+func (s *ShardStats) Sub(o ShardStats) { // want `ShardStats.Sub does not reference counter field ByWay`
+	s.Refs -= o.Refs
+	s.Hits -= o.Hits
+	s.Misses -= o.Misses
+}
+
+// HelperStats folds its counters through a helper; the interprocedural
+// closure must see the references and stay quiet.
+type HelperStats struct {
+	Refs uint64
+	Hits uint64
+}
+
+func (s *HelperStats) Merge(o HelperStats) {
+	s.fold(o)
+}
+
+func (s *HelperStats) fold(o HelperStats) {
+	s.Refs += o.Refs
+	s.Hits += o.Hits
+}
+
+// NotShaped has an Add that is not merge-shaped (wrong parameter type),
+// so no exhaustiveness is demanded of it.
+type NotShaped struct {
+	Count uint64
+	Other uint64
+}
+
+func (s *NotShaped) Add(delta uint64) {
+	s.Count += delta
+}

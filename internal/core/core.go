@@ -173,7 +173,7 @@ func (s *Simulator) Warm(ctx context.Context, r trace.Reader) error {
 		for _, ref := range batch {
 			res := s.pol.Assign(ref.Addr)
 			if res.Event != policy.EventNone {
-				s.applyEvent(res)
+				s.applyEvent(res) //paperlint:ignore hotalloc event path: page-table node alloc/free and error formatting run per promotion/demotion, not per reference
 			}
 			if s.pt != nil {
 				s.ptStep(ref.Addr, res)
@@ -229,7 +229,7 @@ func (s *Simulator) Run(ctx context.Context, r trace.Reader) (*Result, error) {
 			}
 			res := s.pol.Assign(ref.Addr)
 			if res.Event != policy.EventNone {
-				s.applyEvent(res)
+				s.applyEvent(res) //paperlint:ignore hotalloc event path: page-table node alloc/free and error formatting run per promotion/demotion, not per reference
 			}
 			if s.pt != nil {
 				s.ptStep(ref.Addr, res)

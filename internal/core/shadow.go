@@ -72,7 +72,7 @@ func (p *ptShadow) apply(level int, res policy.Result) {
 		fan := p.classes.Fanout(level)
 		p.frames = p.frames[:0]
 		for i := 0; i < fan; i++ {
-			p.frames = append(p.frames, p.alloc())
+			p.frames = append(p.frames, p.alloc()) //paperlint:ignore hotalloc frames reuses capacity across demotions; it grows at most to the largest fanout once
 		}
 		_, _ = p.nt.Demote(level, res.Chunk, p.frames)
 	}
@@ -97,6 +97,6 @@ func (s *Simulator) ptStep(va addr.VA, res policy.Result) {
 	s.pt.cycles += w.Cycles
 	if !pte.Valid {
 		k := s.pt.classOf(res.Page.Shift)
-		_ = s.pt.nt.Map(k, res.Page.Number, s.pt.alloc())
+		_ = s.pt.nt.Map(k, res.Page.Number, s.pt.alloc()) //paperlint:ignore hotalloc demand-map path: node alloc and error formatting run once per first-touched page, not per reference
 	}
 }

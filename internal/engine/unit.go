@@ -303,10 +303,17 @@ type StaticWSSUnit struct {
 	T        uint64
 }
 
+// key is the unit's memoization key. Keeping it a method (rather than
+// an inline format string at the submission site) puts it under the
+// keycheck analyzer: every StaticWSSUnit field must reach the key.
+func (u StaticWSSUnit) key() string {
+	return fmt.Sprintf("wss-static w=%s refs=%d T=%d", u.Workload, u.Refs, u.T)
+}
+
 // StaticWSS submits the unit, returning average working-set results
 // indexed as StaticShifts. Results are shared; treat as read-only.
 func (e *Engine) StaticWSS(ctx context.Context, u StaticWSSUnit) *Future[[]wss.Result] {
-	key := fmt.Sprintf("wss-static w=%s refs=%d T=%d", u.Workload, u.Refs, u.T)
+	key := u.key()
 	if f, plan, ok := e.shardFor(u.Workload, PolicySpec{}); ok {
 		// The static working-set merge is exact (wss.MergeStatic), so
 		// the sharded pass shares the serial unit's key: either path
@@ -353,10 +360,17 @@ type TwoSizeWSSUnit struct {
 	Cfg      policy.TwoSizeConfig
 }
 
+// key is the unit's memoization key; delegating the policy fragment to
+// PolicySpec.key keeps every TwoSizeConfig knob accountable to the
+// keycheck analyzer through one shared spelling.
+func (u TwoSizeWSSUnit) key() string {
+	return fmt.Sprintf("wss-two w=%s refs=%d pol=%s", u.Workload, u.Refs, TwoSizePolicy(u.Cfg).key())
+}
+
 // TwoSizeWSS submits the unit. The configuration's DenyPromotion hook
 // must be nil (see PolicySpec).
 func (e *Engine) TwoSizeWSS(ctx context.Context, u TwoSizeWSSUnit) *Future[TwoWSS] {
-	key := fmt.Sprintf("wss-two w=%s refs=%d pol=%s", u.Workload, u.Refs, TwoSizePolicy(u.Cfg).key())
+	key := u.key()
 	return keyed(e, ctx, key, func(ctx context.Context) (TwoWSS, error) {
 		if u.Cfg.DenyPromotion != nil {
 			return TwoWSS{}, fmt.Errorf("engine: DenyPromotion hooks cannot be memoized")

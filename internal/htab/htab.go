@@ -105,7 +105,7 @@ func (t *U64) init(capacity int) {
 	// wrong for any non-power-of-two slot count; assert at the same
 	// boundary the rest of the repo uses for geometry invariants.
 	capacity = int(addr.MustPow2(addr.PageSize(capacity)))
-	t.slots = make([]slot, capacity)
+	t.slots = make([]slot, capacity) //paperlint:ignore hotalloc construction and amortized doubling; the AllocsPerRun tests pin steady state to zero grows
 	t.mask = uint64(capacity - 1)
 	t.shift = 64 - uint(log2(capacity))
 }

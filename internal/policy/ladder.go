@@ -60,7 +60,8 @@ type LadderStats struct {
 	RefsByClass [addr.MaxSizeClasses]uint64       // references landing on each class
 	Promotions  [addr.MaxSizeClasses]uint64       // promotions *into* class k (k >= 1)
 	Demotions   [addr.MaxSizeClasses]uint64       // demotions *out of* class k (k >= 1)
-	Mapped      [addr.MaxSizeClasses]int          // regions currently mapped at class k
+	//paperlint:gauge regions currently mapped at class k; last-writer on Merge, kept on Sub
+	Mapped [addr.MaxSizeClasses]int
 }
 
 // Sub removes a previously recorded baseline from the flow counters —

@@ -156,7 +156,8 @@ type TwoSizeStats struct {
 	SmallRefs   uint64 // references that landed on small pages
 	Promotions  uint64 // small→large transitions
 	Demotions   uint64 // large→small transitions
-	LargeChunks int    // chunks currently mapped large
+	//paperlint:gauge chunks currently mapped large; last-writer on Merge, kept on Sub
+	LargeChunks int
 }
 
 // Sub removes a previously recorded baseline from the flow counters,

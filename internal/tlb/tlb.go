@@ -127,6 +127,7 @@ type Stats struct {
 	Invalidations uint64 // entries removed by Invalidate
 	// Classes is how many size classes the owning TLB supports. Zero is
 	// treated as the legacy two-class layout by the derived metrics.
+	//paperlint:gauge structural constant, not flow: Merge max-carries it, Sub leaves it
 	Classes int
 	// HitsByClass and MissesByClass split the traffic by size class;
 	// class 0 is the smallest page. Only the first Classes entries are
@@ -318,11 +319,15 @@ type Config struct {
 	// defaults to the deprecated SmallShift/LargeShift pair, and then
 	// to the paper's 4KB/32KB.
 	Shifts []uint
-	// SmallShift and LargeShift are the legacy two-size shift fields.
+	// SmallShift is the legacy small-page shift field.
 	//
-	// Deprecated: set Shifts. These remain as shims for the two-size
-	// constructors; combining them with a non-empty Shifts is an error.
+	// Deprecated: set Shifts. It remains as a shim for the two-size
+	// constructors; combining it with a non-empty Shifts is an error.
 	SmallShift uint
+	// LargeShift is the legacy large-page shift field.
+	//
+	// Deprecated: set Shifts. It remains as a shim for the two-size
+	// constructors; combining it with a non-empty Shifts is an error.
 	LargeShift uint
 	// Seed seeds the Random replacement generator.
 	Seed uint64
