@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK = honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK = golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: all build test verify lint paperlint lint-extra bench bench-trace bench-kernels bench-shard bench-report golden golden-update paper
+.PHONY: all build test verify lint paperlint lint-extra bench bench-trace bench-kernels bench-shard bench-walk bench-report golden golden-update paper
 
 all: build
 
@@ -81,6 +81,14 @@ bench-kernels:
 SHARD_BENCH_REFS ?= 400000
 bench-shard:
 	$(GO) test -run TestShardBenchReport -shardbench -shardbenchrefs $(SHARD_BENCH_REFS) -count 1 .
+
+# bench-walk regenerates BENCH_walk.json: simulator throughput and the
+# emergent cycles-per-walk for the flat 25-cycle penalty against the
+# modeled multi-level walk (DESIGN.md §12), with and without page-walk
+# caches. The cycle columns are deterministic; only the timings churn.
+WALK_BENCH_REFS ?= 400000
+bench-walk:
+	$(GO) test -run TestWalkBenchReport -walkbench -walkbenchrefs $(WALK_BENCH_REFS) -count 1 .
 
 # bench-report regenerates BENCH_run.json: the full experiment suite's
 # run report (internal/obs schema) at a reduced scale. The counter

@@ -94,6 +94,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	parallelism := fs.Int("j", runtime.NumCPU(), "max concurrent simulation passes")
 	shards := fs.Int("shards", 1, "split each trace-file pass into this many sections simulated in parallel and merged (1 = exact serial pass; only affects -trace workloads)")
 	warmup := fs.Uint64("warmup", 0, "per-shard warm-up references replayed before measuring (0 = auto from the policy window; needs -shards > 1)")
+	walkPWC := fs.Int("walkpwc", 0, "walkcpi family: page-walk-cache entries per level (0 = default, negative = disable)")
+	walkMem := fs.Int("walkmem", 0, "walkcpi family: memory-side cache bytes for walk loads (0 = default, negative = disable)")
 	progress := fs.Bool("progress", false, "report each completed simulation pass on stderr")
 	statsF := fs.String("stats", "", "write a JSON run report to this file (\"-\" = stderr)")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -110,6 +112,12 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
+		return 2
+	}
+	if *warmup > 0 && *shards <= 1 {
+		// The serial pass has no warm-up phase; silently ignoring the
+		// flag would report cold-state metrics as if they were warm.
+		fmt.Fprintln(stderr, "paper: -warmup requires -shards > 1 (the serial pass replays no warm-up)")
 		return 2
 	}
 
@@ -170,6 +178,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		experiments.WithJSON(*jsonOut),
 		experiments.WithParallelism(*parallelism),
 		experiments.WithShards(*shards, *warmup),
+		experiments.WithWalkParams(*walkPWC, *walkMem),
 	}
 	if len(names) > 0 {
 		eopts = append(eopts, experiments.WithWorkloads(names...))

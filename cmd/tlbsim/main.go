@@ -6,6 +6,8 @@
 //	tlbsim -workload matrix300 -entries 16                 # fully associative
 //	tlbsim -workload tomcatv -entries 32 -ways 2 -index large
 //	tlbsim -workload li -two -T 500000 -entries 16 -ways 2 -index exact
+//	tlbsim -workload li -two -walk                         # modeled page walks
+//	tlbsim -workload li -two -walk -walkpwc -1 -walkmem -1 # walk, caches off
 //	tlbsim -workload li -sizes 4096,32768,262144 -ladder   # three-size ladder
 //	tlbsim -workload li -sizes 4096,32768,262144 -ladder -index class1
 //	tlbsim -trace foo.trc -pagesize 8192        # format sniffed (v2/binary/text)
@@ -32,6 +34,7 @@ import (
 	"twopage/internal/profiling"
 	"twopage/internal/tlb"
 	"twopage/internal/trace"
+	"twopage/internal/walk"
 	"twopage/internal/workload"
 )
 
@@ -65,6 +68,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		thresh   = fs.Int("threshold", 4, "two-page promotion threshold (blocks of 8)")
 		wss      = fs.Bool("wss", false, "also report the two-page working-set size")
 		pt       = fs.Bool("pt", false, "model a software page table: charge modelled walk cycles on first-TLB misses (needs -two or -ladder)")
+		walkF    = fs.Bool("walk", false, "model multi-level page walks with MMU walk caches: CPI_TLB becomes emergent instead of MPI x penalty (needs -two or -ladder; implies -pt)")
+		walkPWC  = fs.Int("walkpwc", 0, "page-walk-cache entries per level (0 = default, negative = disable; needs -walk)")
+		walkMem  = fs.Int("walkmem", 0, "memory-side cache bytes for walk loads (0 = default, negative = disable; needs -walk)")
 		shards   = fs.Int("shards", 1, "split a v2 trace into this many sections simulated in parallel and merged (1 = exact serial pass; needs -trace)")
 		warmup   = fs.Uint64("warmup", 0, "per-shard warm-up references replayed before measuring (0 = auto from the policy window; needs -shards > 1)")
 		list     = fs.Bool("listworkloads", false, "list synthetic workloads and exit")
@@ -73,6 +79,12 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
+		return 2
+	}
+	if *warmup > 0 && *shards <= 1 {
+		// The serial pass has no warm-up phase; silently ignoring the
+		// flag would report cold-state metrics as if they were warm.
+		fmt.Fprintln(stderr, "tlbsim: -warmup requires -shards > 1 (the serial pass replays no warm-up)")
 		return 2
 	}
 
@@ -221,6 +233,28 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintln(stderr, "tlbsim: -pt needs a multi-size policy (-two or -ladder)")
 		return 1
 	}
+	if *walkF && !*two && !*ladder {
+		fmt.Fprintln(stderr, "tlbsim: -walk needs a multi-size policy (-two or -ladder)")
+		return 1
+	}
+	wcfg := walk.Config{
+		// Classes stay zero: core derives them from the policy.
+		PWCEntries: walk.DefaultPWCEntries,
+		MemBytes:   walk.DefaultMemBytes,
+		MemWays:    walk.DefaultMemWays,
+		HitCycles:  walk.DefaultHitCycles,
+		MissCycles: walk.DefaultMissCycles,
+	}
+	if *walkPWC < 0 {
+		wcfg.PWCEntries = 0
+	} else if *walkPWC > 0 {
+		wcfg.PWCEntries = *walkPWC
+	}
+	if *walkMem < 0 {
+		wcfg.MemBytes = 0
+	} else if *walkMem > 0 {
+		wcfg.MemBytes = *walkMem
+	}
 
 	build := func() (*core.Simulator, error) {
 		t, err := tlb.New(tlbCfg)
@@ -234,6 +268,12 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 		if *pt {
 			opts = append(opts, core.WithPageTable())
+		}
+		if *walkF {
+			if err := core.CheckWalkModel(pol, wcfg); err != nil {
+				return nil, err
+			}
+			opts = append(opts, core.WithWalkModel(wcfg))
 		}
 		return core.NewSimulator(pol, []tlb.TLB{t}, opts...), nil
 	}
@@ -295,11 +335,23 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 	fmt.Fprintf(stdout, "miss ratio:  %.6f\n", tr.MissRatio)
 	fmt.Fprintf(stdout, "MPI:         %.6f\n", tr.MPI)
-	fmt.Fprintf(stdout, "CPI_TLB:     %.4f  (penalty %.0f cycles)\n", tr.CPITLB, tr.MissPenalty)
+	if res.Walk != nil {
+		fmt.Fprintf(stdout, "CPI_TLB:     %.4f  (emergent penalty %.1f cycles/walk)\n", tr.CPITLB, tr.MissPenalty)
+	} else {
+		fmt.Fprintf(stdout, "CPI_TLB:     %.4f  (penalty %.0f cycles)\n", tr.CPITLB, tr.MissPenalty)
+	}
 	fmt.Fprintf(stdout, "reprobes:    %d (sequential exact-index cost model)\n", tr.Stats.Reprobes())
 	if res.PageTable != nil {
 		fmt.Fprintf(stdout, "pt walks:    %d (faults %d, %.0f walk cycles)\n",
 			res.PageTable.Lookups, res.PageTable.Misses, res.PTWalkCycles)
+	}
+	if ws := res.Walk; ws != nil {
+		fmt.Fprintf(stdout, "walk model:  %d walks, %d loads, %.1f cycles/walk\n",
+			ws.Walks, ws.Loads(), ws.CyclesPerWalk())
+		fmt.Fprintf(stdout, "  PWC:       %d hits / %d misses (%.0f%% hit), %d flushes\n",
+			ws.PWCHits(), ws.PWCMisses(), 100*ws.PWCHitRatio(), ws.PWCFlushes)
+		fmt.Fprintf(stdout, "  mem cache: %d hits / %d misses (%.0f%% hit)\n",
+			ws.MemHits, ws.MemMisses, 100*ws.MemHitRatio())
 	}
 	if res.PolicyStats != nil {
 		ps := res.PolicyStats

@@ -53,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		sizes   = fs.String("sizes", "4096,8192,16384,32768,65536", "comma-separated page sizes in bytes")
 		two     = fs.Bool("two", true, "also compute the dynamic 4KB/32KB scheme")
 		shards  = fs.Int("shards", 1, "compute the static pass over this many v2-trace sections in parallel; the merge is exact, so any value gives the serial result (needs -trace)")
+		warmup  = fs.Uint64("warmup", 0, "accepted for interface symmetry with tlbsim/paper; the static merge is exact, so wsssim never needs (and rejects) a warm-up")
 		statsF  = fs.String("stats", "", "write a JSON run report to this file (\"-\" = stderr)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -61,6 +62,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
+		return 2
+	}
+	if *warmup > 0 {
+		// The Slutz–Traiger accumulation decomposes exactly across shard
+		// boundaries, so there is no cold-start error for a warm-up to
+		// amortize; reject rather than silently ignore the flag.
+		fmt.Fprintln(stderr, "wsssim: -warmup is not applicable (the sharded static merge is exact; no warm-up phase exists)")
 		return 2
 	}
 

@@ -2,6 +2,7 @@ package twopage_test
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -29,6 +30,21 @@ func runBin(t *testing.T, bin string, args ...string) string {
 		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
 	}
 	return string(out)
+}
+
+// runBinErr runs a binary expecting a non-zero exit, returning the exit
+// code and combined output.
+func runBinErr(t *testing.T, bin string, args ...string) (int, string) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v: succeeded, want non-zero exit\n%s", filepath.Base(bin), args, out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("%s %v: %v (not an exit error)\n%s", filepath.Base(bin), args, err, out)
+	}
+	return ee.ExitCode(), string(out)
 }
 
 // End-to-end CLI coverage: every binary builds and performs a small,
@@ -100,6 +116,47 @@ func TestCommandLineTools(t *testing.T) {
 		out = runBin(t, sim, "-spec", spec, "-refs", "30000")
 		if !strings.Contains(out, "refs:        30000") {
 			t.Errorf("tlbsim -spec output:\n%s", out)
+		}
+	})
+
+	t.Run("tlbsim-walk", func(t *testing.T) {
+		bin := buildCmd(t, dir, "tlbsim")
+		out := runBin(t, bin, "-workload", "li", "-refs", "50000", "-two", "-walk")
+		for _, want := range []string{"emergent penalty", "walk model:", "PWC:", "mem cache:"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("tlbsim -walk output missing %q:\n%s", want, out)
+			}
+		}
+		// -walk without a multi-size policy is a usage error.
+		if code, out := runBinErr(t, bin, "-workload", "li", "-refs", "50000", "-walk"); code != 1 || !strings.Contains(out, "-walk needs a multi-size policy") {
+			t.Errorf("single-size -walk: exit %d, output:\n%s", code, out)
+		}
+	})
+
+	// -warmup without -shards > 1 used to be silently ignored: the user
+	// believed they measured warm state but got the cold serial pass.
+	// All three cmds must reject the combination with exit 2 and name
+	// the flag.
+	t.Run("warmup-needs-shards", func(t *testing.T) {
+		cases := []struct {
+			name string
+			args []string
+		}{
+			{"tlbsim", []string{"-workload", "li", "-refs", "50000", "-warmup", "1000"}},
+			{"paper", []string{"-scale", "0.01", "-workloads", "li", "-warmup", "1000", "table3.1"}},
+			{"wsssim", []string{"-workload", "li", "-refs", "50000", "-warmup", "1000"}},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				bin := buildCmd(t, dir, tc.name)
+				code, out := runBinErr(t, bin, tc.args...)
+				if code != 2 {
+					t.Errorf("exit = %d, want 2\n%s", code, out)
+				}
+				if !strings.Contains(out, "-warmup") {
+					t.Errorf("error does not name the -warmup flag:\n%s", out)
+				}
+			})
 		}
 	})
 

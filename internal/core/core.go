@@ -29,6 +29,7 @@ import (
 	"twopage/internal/policy"
 	"twopage/internal/tlb"
 	"twopage/internal/trace"
+	"twopage/internal/walk"
 	"twopage/internal/wss"
 )
 
@@ -63,8 +64,15 @@ type Result struct {
 	// the simulator was built with WithPageTable.
 	PageTable *pagetable.Stats
 	// PTWalkCycles is the total modelled cost of the shadow's software
-	// walks (zero without WithPageTable).
+	// walks (zero without WithPageTable). Under WithWalkModel it is the
+	// walker's integer cycle total, exactly.
 	PTWalkCycles float64
+
+	// Walk holds the modeled page-walk counters, set only when the
+	// simulator was built with WithWalkModel. When present, the first
+	// TLB's MissPenalty and CPITLB are emergent — recomputed from these
+	// counters instead of the flat penalty constant.
+	Walk *walk.Stats
 
 	// Counters is the pass's run-report block (internal/obs): the TLB
 	// split, policy transitions, and any trace-decode work, assembled
@@ -80,6 +88,7 @@ type Simulator struct {
 	wssCalc     *wss.TwoSize
 	classes     addr.SizeClasses // hierarchy of a MultiSize policy (zero for single-size)
 	pt          *ptShadow        // page-table shadow (WithPageTable)
+	walker      *walk.Walker     // modeled radix walk (WithWalkModel)
 
 	// Warm-up baselines (see Warm): counter snapshots taken at the end
 	// of the warm-up preroll, subtracted out of Run's results so only
@@ -90,6 +99,7 @@ type Simulator struct {
 	warmTwo    *policy.TwoSizeStats
 	warmPT     pagetable.Stats
 	warmPTCyc  float64
+	warmWalk   walk.Stats
 }
 
 // Option configures a Simulator.
@@ -134,6 +144,71 @@ func WithPageTable() Option {
 			panic("core: WithPageTable requires at least one TLB")
 		}
 		s.pt = newPTShadow(mp.SizeClasses())
+	}
+}
+
+// resolveWalkConfig fills the policy-derived defaults of a walk config:
+// a zero Classes takes the policy's hierarchy, a zero BaseCycles the
+// multi-size handler base. It rejects non-MultiSize policies (the walk
+// needs the page-table shadow, which needs a size hierarchy) and a
+// Classes that disagrees with the policy's.
+func resolveWalkConfig(pol policy.Assigner, cfg walk.Config) (walk.Config, error) {
+	mp, ok := pol.(policy.MultiSize)
+	if !ok {
+		return walk.Config{}, fmt.Errorf("core: the walk model requires a MultiSize policy, got %q", pol.Name())
+	}
+	if cfg.Classes.N() == 0 {
+		cfg.Classes = mp.SizeClasses()
+	} else if cfg.Classes != mp.SizeClasses() {
+		return walk.Config{}, fmt.Errorf("core: walk classes %v disagree with policy classes %v", cfg.Classes, mp.SizeClasses())
+	}
+	if cfg.BaseCycles == 0 {
+		cfg.BaseCycles = walk.HandlerBaseCycles(true)
+	}
+	return cfg, nil
+}
+
+// CheckWalkModel reports whether WithWalkModel(cfg) would succeed for
+// the policy, as an error instead of a panic — the engine validates
+// units with it before building simulators on worker goroutines.
+func CheckWalkModel(pol policy.Assigner, cfg walk.Config) error {
+	cfg, err := resolveWalkConfig(pol, cfg)
+	if err != nil {
+		return err
+	}
+	_, err = walk.New(cfg)
+	return err
+}
+
+// WithWalkModel replaces the page-table shadow's flat per-walk charge
+// with the modeled multi-level radix walk of internal/walk: every
+// first-TLB miss descends the shadow's table, probing the MMU
+// page-walk caches and charging each performed level load through the
+// memory-side cache model. CPI_TLB becomes emergent — total walk
+// cycles over instructions — instead of MPI × penalty, and the first
+// TLB's reported MissPenalty is the measured cycles-per-walk.
+//
+// The option implies WithPageTable (attaching the shadow if absent)
+// and therefore shares its requirements: a MultiSize policy and at
+// least one TLB; NewSimulator panics otherwise (use CheckWalkModel to
+// validate first). A zero cfg.Classes defaults to the policy's
+// hierarchy; a zero cfg.BaseCycles to the multi-size handler base.
+// Promotions and demotions flush the PWCs (the shootdown a remap
+// forces); walker state is shard-local and its counters are integers,
+// so sharded runs merge exactly.
+func WithWalkModel(cfg walk.Config) Option {
+	return func(s *Simulator) {
+		resolved, err := resolveWalkConfig(s.pol, cfg)
+		if err != nil {
+			panic(err)
+		}
+		if len(s.tlbs) == 0 {
+			panic("core: WithWalkModel requires at least one TLB")
+		}
+		if s.pt == nil {
+			s.pt = newPTShadow(resolved.Classes)
+		}
+		s.walker = walk.MustNew(resolved)
 	}
 }
 
@@ -209,6 +284,9 @@ func (s *Simulator) Warm(ctx context.Context, r trace.Reader) error {
 	if s.pt != nil {
 		s.warmPT = s.pt.nt.Stats()
 		s.warmPTCyc = s.pt.cycles
+	}
+	if s.walker != nil {
+		s.warmWalk = s.walker.Stats()
 	}
 	return nil
 }
@@ -303,6 +381,14 @@ func (s *Simulator) Run(ctx context.Context, r trace.Reader) (*Result, error) {
 		out.PageTable = &st
 		out.PTWalkCycles = cyc
 	}
+	if s.walker != nil {
+		ws := s.walker.Stats()
+		if s.warmed {
+			ws.Sub(s.warmWalk)
+		}
+		out.Walk = &ws
+		applyWalkResult(out)
+	}
 	out.Counters = obs.Counters{Passes: 1, Refs: refs, Instrs: instrs}
 	for _, tr := range out.TLBs {
 		out.Counters.Add(tr.Stats.Counters())
@@ -324,8 +410,35 @@ func (s *Simulator) Run(ctx context.Context, r trace.Reader) (*Result, error) {
 		out.Counters.Faults = pt.Misses
 		out.Counters.CopiedBytes = pt.CopiedBytes
 	}
+	if ws := out.Walk; ws != nil {
+		out.Counters.WalkCycles = ws.Cycles
+		out.Counters.WalkLoads = ws.Loads()
+		out.Counters.WalkPWCHits = ws.PWCHits()
+		out.Counters.WalkPWCMisses = ws.PWCMisses()
+		out.Counters.WalkMemHits = ws.MemHits
+		out.Counters.WalkMemMisses = ws.MemMisses
+	}
 	out.Counters.Add(DecodeCounters(r))
 	return out, nil
+}
+
+// applyWalkResult derives the walk-mode metrics from Result.Walk: the
+// total walk cost replaces the shadow's flat charge, and the first TLB
+// (the one whose misses trigger walks) reports the emergent penalty —
+// measured cycles per walk — with CPI_TLB recomputed as total walk
+// cycles over instructions. Run and MergeResults share it so a merged
+// result is assembled exactly like a serial one.
+func applyWalkResult(out *Result) {
+	ws := out.Walk
+	out.PTWalkCycles = float64(ws.Cycles)
+	if len(out.TLBs) == 0 {
+		return
+	}
+	out.TLBs[0].MissPenalty = ws.CyclesPerWalk()
+	out.TLBs[0].CPITLB = 0
+	if out.Instrs > 0 {
+		out.TLBs[0].CPITLB = float64(ws.Cycles) / float64(out.Instrs)
+	}
 }
 
 // DecodeCounters harvests a reader's trace-decode counters into a
@@ -356,6 +469,11 @@ func (s *Simulator) applyEvent(res policy.Result) {
 	}
 	if s.pt != nil {
 		s.pt.apply(level, res)
+	}
+	if s.walker != nil {
+		// The remapped region's interior descriptors changed shape; a
+		// real MMU shoots down its paging-structure caches.
+		s.walker.FlushPWC()
 	}
 	switch res.Event {
 	case policy.EventPromote:

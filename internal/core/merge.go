@@ -121,6 +121,18 @@ func MergeResults(parts []*Result) *Result {
 		out.PTWalkCycles += live[0].PTWalkCycles
 		out.PageTable = &st
 	}
+	if live[0].Walk != nil {
+		ws := *live[0].Walk
+		for _, p := range live[1:] {
+			if p.Walk != nil {
+				ws.Merge(*p.Walk)
+			}
+		}
+		out.Walk = &ws
+		// Same derivation Run performs: integer cycle total replaces the
+		// flat charge, first TLB reports the emergent penalty.
+		applyWalkResult(out)
+	}
 
 	// Rebuild the run-report block from the merged stats — the same
 	// assembly Run performs — rather than summing the parts' blocks, so
@@ -147,6 +159,14 @@ func MergeResults(parts []*Result) *Result {
 		out.Counters.PTWalks = pt.Lookups
 		out.Counters.Faults = pt.Misses
 		out.Counters.CopiedBytes = pt.CopiedBytes
+	}
+	if ws := out.Walk; ws != nil {
+		out.Counters.WalkCycles = ws.Cycles
+		out.Counters.WalkLoads = ws.Loads()
+		out.Counters.WalkPWCHits = ws.PWCHits()
+		out.Counters.WalkPWCMisses = ws.PWCMisses()
+		out.Counters.WalkMemHits = ws.MemHits
+		out.Counters.WalkMemMisses = ws.MemMisses
 	}
 	for _, p := range live {
 		out.Counters.DecodedRefs += p.Counters.DecodedRefs

@@ -94,7 +94,15 @@ func (s *Simulator) ptStep(va addr.VA, res policy.Result) {
 		return
 	}
 	pte, w := s.pt.nt.Lookup(va)
-	s.pt.cycles += w.Cycles
+	if s.walker != nil {
+		// Modeled walk: charge per-level loads through the PWCs and the
+		// memory-side cache instead of the flat handler total. The
+		// shadow's own cycle accumulator stays at zero — PTWalkCycles
+		// comes from the walker.
+		s.walker.Walk(va, w.Levels)
+	} else {
+		s.pt.cycles += w.Cycles
+	}
 	if !pte.Valid {
 		k := s.pt.classOf(res.Page.Shift)
 		_ = s.pt.nt.Map(k, res.Page.Number, s.pt.alloc()) //paperlint:ignore hotalloc demand-map path: node alloc and error formatting run once per first-touched page, not per reference

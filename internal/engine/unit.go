@@ -9,6 +9,7 @@ import (
 	"twopage/internal/core"
 	"twopage/internal/policy"
 	"twopage/internal/tlb"
+	"twopage/internal/walk"
 	"twopage/internal/workload"
 	"twopage/internal/wss"
 )
@@ -113,6 +114,10 @@ type Unit struct {
 	// WSS attaches the two-page working-set calculator (requires a
 	// two-size policy).
 	WSS bool
+	// Walk, when set, replaces the flat miss penalty with the modeled
+	// multi-level page walk (core.WithWalkModel). Requires a MultiSize
+	// policy and a TLB.
+	Walk *walk.Config
 }
 
 // Key returns the memoization key. TLB configurations are normalized
@@ -127,6 +132,13 @@ func (u Unit) Key() (string, error) {
 			return "", err
 		}
 		fmt.Fprintf(&b, " tlb=%s", frag)
+	}
+	if u.Walk != nil {
+		frag, err := u.Walk.Key()
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, " walk=%s", frag)
 	}
 	return b.String(), nil
 }
@@ -150,6 +162,18 @@ func (u Unit) newSimulator() (*core.Simulator, error) {
 	var opts []core.Option
 	if u.WSS {
 		opts = append(opts, core.WithWSS())
+	}
+	if u.Walk != nil {
+		if u.TLB == nil {
+			return nil, fmt.Errorf("engine: a walk-model unit needs a TLB")
+		}
+		// Validate as an error here: WithWalkModel panics on a bad
+		// config, and a panic on a pool worker would take the whole
+		// engine down instead of failing the one unit.
+		if err := core.CheckWalkModel(pol, *u.Walk); err != nil {
+			return nil, err
+		}
+		opts = append(opts, core.WithWalkModel(*u.Walk))
 	}
 	return core.NewSimulator(pol, tlbs, opts...), nil
 }
@@ -181,6 +205,9 @@ type PassSpec struct {
 	TLBs []tlb.Config
 	// WSS attaches the two-page working-set calculator.
 	WSS bool
+	// Walk, when set, runs every unit of the pass under the modeled
+	// page walk instead of the flat miss penalty.
+	Walk *walk.Config
 }
 
 // Units returns the spec's decomposition into memoizable units. A spec
@@ -188,7 +215,7 @@ type PassSpec struct {
 // rides on the first unit only (its result is independent of the TLB).
 func (p PassSpec) Units() []Unit {
 	if len(p.TLBs) == 0 {
-		return []Unit{{Workload: p.Workload, Refs: p.Refs, Policy: p.Policy, WSS: p.WSS}}
+		return []Unit{{Workload: p.Workload, Refs: p.Refs, Policy: p.Policy, WSS: p.WSS, Walk: p.Walk}}
 	}
 	units := make([]Unit, len(p.TLBs))
 	for i := range p.TLBs {
@@ -199,6 +226,7 @@ func (p PassSpec) Units() []Unit {
 			Policy:   p.Policy,
 			TLB:      &cfg,
 			WSS:      p.WSS && i == 0,
+			Walk:     p.Walk,
 		}
 	}
 	return units
@@ -273,6 +301,16 @@ func mergeParts(parts []*core.Result) *core.Result {
 		}
 		if out.LadderStats == nil && p.LadderStats != nil {
 			out.LadderStats = p.LadderStats
+		}
+		// The shadow and the walker hang off each unit's own first TLB,
+		// so their counters are per-unit quantities; the first unit that
+		// carried them speaks for the pass, like the policy-side fields.
+		if out.PageTable == nil && p.PageTable != nil {
+			out.PageTable = p.PageTable
+			out.PTWalkCycles = p.PTWalkCycles
+		}
+		if out.Walk == nil && p.Walk != nil {
+			out.Walk = p.Walk
 		}
 		out.Counters.Add(p.Counters)
 	}

@@ -75,6 +75,13 @@ type Options struct {
 	// Warmup is the per-shard warm-up length in references; 0 selects
 	// engine.AutoWarmup of the policy window. Ignored unless Shards > 1.
 	Warmup uint64
+	// WalkPWC overrides the page-walk-cache capacity of the walkcpi
+	// experiment family: 0 keeps walk.DefaultPWCEntries, a negative
+	// value disables the PWCs. Flat-penalty experiments ignore it.
+	WalkPWC int
+	// WalkMemBytes overrides the walk model's memory-side cache size:
+	// 0 keeps walk.DefaultMemBytes, negative disables the cache.
+	WalkMemBytes int
 }
 
 // Opt mutates an Options (the functional-options constructor form).
@@ -117,6 +124,13 @@ func WithCollector(c *obs.Collector) Opt { return func(o *Options) { o.Collector
 // per-shard warm-up length (0 = auto from the policy window).
 func WithShards(n int, warmup uint64) Opt {
 	return func(o *Options) { o.Shards, o.Warmup = n, warmup }
+}
+
+// WithWalkParams overrides the walkcpi family's walk model: pwc is the
+// page-walk-cache capacity and memBytes the memory-side cache size
+// (0 keeps the walk package defaults, negative disables the component).
+func WithWalkParams(pwc, memBytes int) Opt {
+	return func(o *Options) { o.WalkPWC, o.WalkMemBytes = pwc, memBytes }
 }
 
 // NewOptions builds a normalized Options from functional options.
@@ -404,6 +418,18 @@ var registry = []Experiment{
 		Title: "Extension: TLB indexing with three page sizes",
 		About: "Section 2.2's indexing dilemma with N sizes: per-class index bits vs exact reprobe vs per-class split TLBs",
 		Run:   NIndex,
+	},
+	{
+		ID:    "walkcpi",
+		Title: "Extension: modeled page walks — CPI_TLB as an emergent quantity",
+		About: "the flat 25-cycle assumption vs a modeled radix walk with MMU walk caches and a memory-side cache; cycles per walk emerge from per-level counters",
+		Run:   WalkCPI,
+	},
+	{
+		ID:    "walkdeltamp",
+		Title: "Extension: Δmp recomputed against the modeled walk penalty",
+		About: "the Section 5 critical-miss-penalty headroom with the measured cycles-per-walk in place of the assumed 25% handler growth",
+		Run:   WalkDeltaMP,
 	},
 }
 

@@ -4,7 +4,10 @@
 // plus the penalty model of Section 2.3.
 package metrics
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Miss-penalty model (paper Sections 2.3 and 3.2): a software-handled
 // TLB miss costs 20 cycles for a single-page-size TLB; miss handlers
@@ -27,9 +30,14 @@ const (
 // MissPenaltyN returns the software miss-handler penalty for a TLB
 // serving n page sizes: the paper's 20 cycles for one size, 25 for two,
 // and one extra level charge per size beyond that. MissPenaltyN(2) is
-// exactly MissPenaltyTwo, so two-size results are untouched.
+// exactly MissPenaltyTwo, so two-size results are untouched. A size
+// count below one is a wiring bug, not a degenerate config — it panics
+// rather than producing a paper-plausible CPI from garbage.
 func MissPenaltyN(n int) float64 {
-	if n <= 1 {
+	if n < 1 {
+		panic(fmt.Sprintf("metrics: MissPenaltyN(%d): a TLB serves at least one page size", n))
+	}
+	if n == 1 {
 		return MissPenaltySingle
 	}
 	return MissPenaltyTwo + float64(n-2)*HandlerLevelCycles

@@ -13,6 +13,33 @@ func TestPenaltyModel(t *testing.T) {
 	}
 }
 
+func TestMissPenaltyN(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{1, MissPenaltySingle},
+		{2, MissPenaltyTwo},
+		{3, MissPenaltyTwo + HandlerLevelCycles},
+		{4, MissPenaltyTwo + 2*HandlerLevelCycles},
+	}
+	for _, tc := range cases {
+		if got := MissPenaltyN(tc.n); got != tc.want {
+			t.Errorf("MissPenaltyN(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MissPenaltyN(%d) did not panic", n)
+				}
+			}()
+			MissPenaltyN(n)
+		}()
+	}
+}
+
 func TestMPIAndCPI(t *testing.T) {
 	if got := MPI(50, 1000); got != 0.05 {
 		t.Fatalf("MPI = %v", got)

@@ -84,6 +84,17 @@ type Counters struct {
 	EvictionsSize3 uint64 `json:"evictions_size3,omitempty"`
 	CopiedBytes    uint64 `json:"copied_bytes,omitempty"`
 
+	// Modeled page-walk activity (internal/walk; WithWalkModel runs
+	// only). WalkCycles is the integer walk cost total, WalkLoads the
+	// descriptor loads actually performed after page-walk-cache skips,
+	// and the hit/miss pairs split PWC probes and memory-side accesses.
+	WalkCycles    uint64 `json:"walk_cycles,omitempty"`
+	WalkLoads     uint64 `json:"walk_loads,omitempty"`
+	WalkPWCHits   uint64 `json:"walk_pwc_hits,omitempty"`
+	WalkPWCMisses uint64 `json:"walk_pwc_misses,omitempty"`
+	WalkMemHits   uint64 `json:"walk_mem_hits,omitempty"`
+	WalkMemMisses uint64 `json:"walk_mem_misses,omitempty"`
+
 	// Buddy-allocator activity (physmem.Stats). BuddyPeakResident is
 	// the high-water mark of allocated 4KB frames and merges by max.
 	BuddySplits       uint64 `json:"buddy_splits,omitempty"`
@@ -128,6 +139,12 @@ func (c *Counters) Add(o Counters) {
 	c.EvictionsSize2 += o.EvictionsSize2
 	c.EvictionsSize3 += o.EvictionsSize3
 	c.CopiedBytes += o.CopiedBytes
+	c.WalkCycles += o.WalkCycles
+	c.WalkLoads += o.WalkLoads
+	c.WalkPWCHits += o.WalkPWCHits
+	c.WalkPWCMisses += o.WalkPWCMisses
+	c.WalkMemHits += o.WalkMemHits
+	c.WalkMemMisses += o.WalkMemMisses
 	c.BuddySplits += o.BuddySplits
 	c.BuddyCoalesces += o.BuddyCoalesces
 	if o.BuddyPeakResident > c.BuddyPeakResident {

@@ -25,10 +25,17 @@ const (
 	OpTLBWrite            // install the entry into the TLB
 )
 
+// numOps is the number of declared Op values; keep in sync with the
+// const block above (the exhaustiveness test enforces it).
+const numOps = int(OpTLBWrite) + 1
+
 // opCycles is the per-class cycle model: loads dominate (cache-missing
 // dependent loads on an early-90s machine), traps cost several cycles
-// of pipeline drain, simple ALU/branches are single-cycle.
-var opCycles = map[Op]float64{
+// of pipeline drain, simple ALU/branches are single-cycle. A dense
+// array, not a map: Cycles runs once per modeled miss, and the old map
+// silently costed an unknown Op at 0.0 — now an out-of-range Op panics
+// in cycles() instead of corrupting totals.
+var opCycles = [numOps]float64{
 	OpTrapEntry: 4,
 	OpTrapRet:   3,
 	OpALU:       1,
@@ -36,6 +43,15 @@ var opCycles = map[Op]float64{
 	OpStore:     2,
 	OpBranch:    1,
 	OpTLBWrite:  2,
+}
+
+// cycles costs one op, panicking on an undeclared Op value so a
+// miswired handler fails loudly rather than costing 0.0.
+func (o Op) cycles() float64 {
+	if int(o) >= numOps {
+		panic(fmt.Sprintf("pagetable: no cycle cost for %v", o))
+	}
+	return opCycles[o]
 }
 
 // String names the op class.
@@ -70,7 +86,7 @@ type Instr struct {
 func Cycles(seq []Instr) float64 {
 	total := 0.0
 	for _, in := range seq {
-		total += opCycles[in.Op]
+		total += in.Op.cycles()
 	}
 	return total
 }

@@ -58,6 +58,27 @@ func TestOpString(t *testing.T) {
 	}
 }
 
+// TestOpCostExhaustive pins the dense cost table against the Op const
+// block: every declared Op must have a nonzero cycle cost and a real
+// String() case (not the fallback spelling), and an undeclared Op must
+// panic instead of silently costing 0.0 the way the old map did.
+func TestOpCostExhaustive(t *testing.T) {
+	for op := Op(0); int(op) < numOps; op++ {
+		if c := op.cycles(); c <= 0 {
+			t.Errorf("%v costs %v cycles, want > 0", op, c)
+		}
+		if s := op.String(); strings.HasPrefix(s, "Op(") {
+			t.Errorf("Op(%d) has no String() case (got %q)", uint8(op), s)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("costing an undeclared Op did not panic")
+		}
+	}()
+	Cycles([]Instr{{Op(numOps), "bogus"}})
+}
+
 func TestHashedHandlerCostsGrowWithWork(t *testing.T) {
 	oneProbe := Cycles(HashedHandler(1, 1))
 	twoProbes := Cycles(HashedHandler(2, 1))

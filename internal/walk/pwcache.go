@@ -1,0 +1,75 @@
+package walk
+
+import "twopage/internal/htab"
+
+// pwcache is one level's page-walk cache: a small fully-associative
+// LRU over class-k page numbers, htab-backed so lookups in the hot
+// walk path stay allocation-free. Replacement is LRU on an insertion
+// tick, with the smaller page number breaking tie — a total order, so
+// eviction is deterministic regardless of scan order. The resident key
+// set is mirrored in a preallocated slice so the eviction scan and the
+// flush never iterate the table through a closure or grow a buffer —
+// insert sits on the hot walk path.
+type pwcache struct {
+	cap  int
+	tick uint64
+	m    *htab.U64 // page number -> last-touch tick
+	keys []uint64  // the resident page numbers, in insertion slots
+}
+
+func newPWCache(capacity int) pwcache {
+	return pwcache{
+		cap: capacity,
+		// Size the table past capacity so steady-state Put never grows.
+		m:    htab.NewU64(capacity * 2),
+		keys: make([]uint64, 0, capacity),
+	}
+}
+
+// lookup probes for pn; a hit refreshes its LRU position.
+func (c *pwcache) lookup(pn uint64) bool {
+	if _, ok := c.m.Get(pn); !ok {
+		return false
+	}
+	c.tick++
+	c.m.Put(pn, c.tick)
+	return true
+}
+
+// insert records pn as most recently used, evicting the LRU entry
+// (ties broken toward the smaller page number) when full.
+func (c *pwcache) insert(pn uint64) {
+	c.tick++
+	if _, ok := c.m.Get(pn); ok {
+		c.m.Put(pn, c.tick)
+		return
+	}
+	if n := len(c.keys); n < c.cap {
+		c.keys = c.keys[:n+1]
+		c.keys[n] = pn
+	} else {
+		slot := 0
+		victim, oldest := c.keys[0], uint64(0)
+		first := true
+		for i, k := range c.keys {
+			v, _ := c.m.Get(k)
+			if first || v < oldest || (v == oldest && k < victim) {
+				slot, victim, oldest, first = i, k, v, false
+			}
+		}
+		c.m.Delete(victim)
+		c.keys[slot] = pn
+	}
+	c.m.Put(pn, c.tick)
+}
+
+// flush empties the cache without releasing its storage.
+func (c *pwcache) flush() {
+	for _, k := range c.keys {
+		c.m.Delete(k)
+	}
+	c.keys = c.keys[:0]
+}
+
+// len reports the resident entry count (tests only).
+func (c *pwcache) len() int { return c.m.Len() }

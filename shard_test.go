@@ -16,6 +16,7 @@ import (
 	"twopage/internal/policy"
 	"twopage/internal/tlb"
 	"twopage/internal/trace"
+	"twopage/internal/walk"
 	"twopage/internal/workload"
 )
 
@@ -136,6 +137,14 @@ func shardScenarios(t *testing.T, T int) []shardScenario {
 		{"two/exact/wss", sim(
 			func() policy.Assigner { return policy.NewTwoSize(twoCfg) },
 			mkTLB(tlb.IndexExact, nil), core.WithWSS())},
+		{"two/exact/walk", sim(
+			func() policy.Assigner { return policy.NewTwoSize(twoCfg) },
+			mkTLB(tlb.IndexExact, nil), core.WithWalkModel(walk.Config{
+				PWCEntries: walk.DefaultPWCEntries,
+				MemBytes:   walk.DefaultMemBytes,
+				HitCycles:  walk.DefaultHitCycles,
+				MissCycles: walk.DefaultMissCycles,
+			}))},
 		{"ladder3/exact", sim(
 			func() policy.Assigner { return policy.NewLadder(ladderCfg) },
 			mkTLB(tlb.IndexExact, classes3.Shifts()))},

@@ -1,0 +1,169 @@
+package twopage_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"twopage/internal/core"
+	"twopage/internal/engine"
+	"twopage/internal/policy"
+	"twopage/internal/tlb"
+	"twopage/internal/walk"
+)
+
+// flatEquivalentWalk is the degenerate walk model that must reproduce
+// the paper's flat handler costs exactly: no PWCs, no memory-side cache,
+// and every PTE load charged the 4-cycle per-level increment, so a
+// full walk costs base(17) + 2x4 = 25 cycles and a large-resolved walk
+// 17 + 1x4 = 21 — the same charges NTable.Lookup makes in flat mode.
+var flatEquivalentWalk = walk.Config{HitCycles: 4, MissCycles: 4}
+
+// The end-to-end flat-equivalence differential: the same trace driven
+// through the flat page-table shadow and through the modeled walk in its
+// degenerate configuration must agree on total walk cycles exactly, walk
+// for walk, and the walk model must not perturb the TLB simulation at
+// all — it only observes misses.
+func TestWalkFlatEquivalenceDifferential(t *testing.T) {
+	f := writeRandomV2(t, 120_000, 512, 41)
+	ctx := context.Background()
+	run := func(opt core.Option) *core.Result {
+		t.Helper()
+		tl, err := tlb.New(tlb.Config{Entries: 32, Ways: 2, Index: tlb.IndexExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := core.NewSimulator(policy.NewTwoSize(policy.DefaultTwoSizeConfig(20_000)),
+			[]tlb.TLB{tl}, opt)
+		res, err := sim.Run(ctx, f.Reader())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	flat := run(core.WithPageTable())
+	modeled := run(core.WithWalkModel(flatEquivalentWalk))
+	if modeled.Walk == nil {
+		t.Fatal("walk-model run produced no walk stats")
+	}
+	if got, want := modeled.Walk.Cycles, uint64(flat.PTWalkCycles); got != want {
+		t.Errorf("degenerate walk cycles = %d, want the flat shadow's %d", got, want)
+	}
+	if modeled.PageTable == nil {
+		t.Fatal("walk-model run did not attach the page-table shadow")
+	}
+	if got, want := modeled.Walk.Walks, flat.PageTable.Lookups; got != want {
+		t.Errorf("walk count = %d, want %d flat shadow lookups", got, want)
+	}
+	// Two loads per full walk, one per large-resolved walk; with no
+	// caches every load is a miss and none hits.
+	if modeled.Walk.PWCHits() != 0 || modeled.Walk.MemHits != 0 {
+		t.Errorf("degenerate config recorded cache hits: pwc %d, mem %d",
+			modeled.Walk.PWCHits(), modeled.Walk.MemHits)
+	}
+	if !reflect.DeepEqual(modeled.TLBs[0].Stats, flat.TLBs[0].Stats) {
+		t.Errorf("walk model perturbed TLB behavior:\n walk %+v\n flat %+v",
+			modeled.TLBs[0].Stats, flat.TLBs[0].Stats)
+	}
+	if modeled.Refs != flat.Refs || modeled.Instrs != flat.Instrs {
+		t.Errorf("stream accounting differs: %d/%d vs %d/%d",
+			modeled.Refs, modeled.Instrs, flat.Refs, flat.Instrs)
+	}
+}
+
+// With the warm-up stretched to the whole trace, every shard replays the
+// exact reference prefix the serial run saw, so each section's counter
+// delta — including every walk counter, PWC state and all — is the
+// serial section contribution and the merge must equal the serial result
+// identically. This pins the warm-snapshot Sub and the shard Merge of
+// walk.Stats as exact inverses.
+func TestWalkShardedFullWarmupExact(t *testing.T) {
+	f := writeRandomV2(t, 60_000, 256, 43)
+	ctx := context.Background()
+	wcfg := walk.Config{
+		PWCEntries: walk.DefaultPWCEntries,
+		MemBytes:   walk.DefaultMemBytes,
+		HitCycles:  walk.DefaultHitCycles,
+		MissCycles: walk.DefaultMissCycles,
+	}
+	build := func() (*core.Simulator, error) {
+		tl, err := tlb.New(tlb.Config{Entries: 32, Ways: 2, Index: tlb.IndexExact})
+		if err != nil {
+			return nil, err
+		}
+		return core.NewSimulator(policy.NewTwoSize(policy.DefaultTwoSizeConfig(10_000)),
+			[]tlb.TLB{tl}, core.WithWalkModel(wcfg)), nil
+	}
+	serialSim, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serialSim.Run(ctx, f.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(4)
+	got, err := engine.RunSharded(e, ctx, f, 0,
+		engine.ShardPlan{Shards: 8, Warmup: f.Refs()}, "walk-fullwarm", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Walk == nil || want.Walk == nil {
+		t.Fatalf("missing walk stats: sharded %v, serial %v", got.Walk, want.Walk)
+	}
+	if !reflect.DeepEqual(*got.Walk, *want.Walk) {
+		t.Errorf("full-warmup sharded walk counters differ from serial:\n got %+v\nwant %+v",
+			*got.Walk, *want.Walk)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("full-warmup sharded result differs from serial:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// The walk counters are pure flow counts, so for any shard count the
+// merged totals must be internally consistent even where the values
+// themselves are approximate: loads split exactly into PWC-start
+// classes, memory hits and misses partition the loads, and cycles are
+// reproducible run to run.
+func TestWalkShardedCountersConsistent(t *testing.T) {
+	f := writeRandomV2(t, 100_000, 512, 47)
+	ctx := context.Background()
+	wcfg := walk.Config{
+		PWCEntries: walk.DefaultPWCEntries,
+		MemBytes:   walk.DefaultMemBytes,
+		HitCycles:  walk.DefaultHitCycles,
+		MissCycles: walk.DefaultMissCycles,
+	}
+	build := func() (*core.Simulator, error) {
+		tl, err := tlb.New(tlb.Config{Entries: 32, Ways: 2, Index: tlb.IndexExact})
+		if err != nil {
+			return nil, err
+		}
+		return core.NewSimulator(policy.NewTwoSize(policy.DefaultTwoSizeConfig(15_000)),
+			[]tlb.TLB{tl}, core.WithWalkModel(wcfg)), nil
+	}
+	for _, shards := range []int{1, 2, 8} {
+		run := func() *walk.Stats {
+			e := engine.New(4)
+			res, err := engine.RunSharded(e, ctx, f, 0,
+				engine.ShardPlan{Shards: shards, Warmup: 10_000}, "walk-consistency", build)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Walk == nil {
+				t.Fatalf("shards=%d: no walk stats", shards)
+			}
+			return res.Walk
+		}
+		ws := run()
+		if got, want := ws.MemHits+ws.MemMisses, ws.Loads(); got != want {
+			t.Errorf("shards=%d: mem hits+misses = %d, want %d loads", shards, got, want)
+		}
+		if ws.Walks == 0 || ws.Loads() == 0 || ws.Cycles == 0 {
+			t.Errorf("shards=%d: degenerate walk stats %+v", shards, *ws)
+		}
+		if again := run(); !reflect.DeepEqual(*again, *ws) {
+			t.Errorf("shards=%d: walk counters not reproducible:\n 1st %+v\n 2nd %+v", shards, *ws, *again)
+		}
+	}
+}
